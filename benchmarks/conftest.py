@@ -1,0 +1,38 @@
+"""Shared infrastructure for the figure/table reproduction benches.
+
+Running every Table II benchmark under both protocols is the expensive
+part, and several benches consume the same runs (Fig. 4 and Fig. 5 read
+different columns of the same experiments), so comparisons are cached
+per session.
+"""
+
+import pytest
+
+from repro.harness.runner import compare_modes
+
+
+class ComparisonCache:
+    """Memoised CCSM-vs-direct-store runs keyed by (code, input_size)."""
+
+    def __init__(self) -> None:
+        self._cache = {}
+
+    def get(self, code: str, input_size: str):
+        key = (code.upper(), input_size)
+        if key not in self._cache:
+            self._cache[key] = compare_modes(code, input_size)
+        return self._cache[key]
+
+    def get_all(self, codes, input_size: str):
+        return [self.get(code, input_size) for code in codes]
+
+
+@pytest.fixture(scope="session")
+def run_cache() -> ComparisonCache:
+    return ComparisonCache()
+
+
+def pytest_configure(config):
+    config.addinivalue_line(
+        "markers",
+        "paper_figure(name): marks a bench as regenerating a paper artifact")

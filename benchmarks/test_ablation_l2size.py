@@ -1,0 +1,43 @@
+"""Ablation — GPU L2 capacity sweep.
+
+§IV-C attributes the big-input fade-out to the GPU L2 capacity: once
+the pushed data exceeds it, forwarded lines die before the consumer
+arrives.  Sweeping the L2 size against a fixed footprint (NN small,
+~0.7 MiB) shows the crossover directly: below the footprint the gain
+collapses, above it the gain saturates.
+"""
+
+import pytest
+
+from repro.harness.reporting import format_table
+from repro.harness.sweep import sweep_config
+
+MIB = 1024 * 1024
+SIZES = [MIB // 4, MIB // 2, MIB, 2 * MIB, 4 * MIB]
+
+
+@pytest.mark.paper_figure("ablation-l2size")
+def test_gpu_l2_capacity_sweep(benchmark):
+    points = benchmark.pedantic(
+        lambda: sweep_config(
+            "NN", "small", SIZES,
+            lambda cfg, v: setattr(cfg.gpu, "l2_size", v),
+            label="l2_size"),
+        rounds=1, iterations=1)
+    print("\nABLATION — GPU L2 capacity (NN small, ~0.7 MiB pushed)\n"
+          + format_table(
+              ["GPU L2 size", "Speedup", "DS miss rate"],
+              [(f"{p.value // 1024} KiB",
+                f"{(p.speedup - 1) * 100:+.1f}%",
+                f"{p.comparison.ds_miss_rate:.1%}") for p in points]))
+
+    by_size = {p.value: p for p in points}
+    # with the footprint resident (>= 1 MiB), direct store wins clearly
+    assert by_size[2 * MIB].speedup > 1.08
+    # a starved L2 (footprint >> capacity) cannot retain the pushes:
+    # most of the benefit is gone, but it still never hurts
+    assert by_size[MIB // 4].speedup < by_size[2 * MIB].speedup
+    assert by_size[MIB // 4].speedup >= 0.97
+    # the DS miss rate falls as capacity covers the pushed footprint
+    assert (by_size[2 * MIB].comparison.ds_miss_rate
+            < by_size[MIB // 4].comparison.ds_miss_rate)

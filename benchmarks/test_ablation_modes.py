@@ -1,0 +1,65 @@
+"""Ablation — the §III-H deployment modes.
+
+Two claims from the paper's design discussion:
+
+* *standalone replacement* (``DS_ONLY``): "The proposed scheme could
+  also replace the entire CCSM system and thus gains a simpler design
+  with better performance" — and §III-H argues it "requires fewer
+  coherence messages than traditional protocols";
+* *hybrid per-variable use*: "The programmer can set large variables to
+  use this approach ... and the remaining small-sized data to use CCSM."
+"""
+
+import pytest
+
+from repro.core.protocol_mode import CoherenceMode
+from repro.harness.reporting import format_table
+from repro.harness.runner import run_benchmark
+
+CODES = ["VA", "NN", "BP"]
+
+
+def _run_modes(code):
+    return {mode: run_benchmark(code, "small", mode)
+            for mode in CoherenceMode}
+
+
+@pytest.mark.paper_figure("ablation-standalone")
+@pytest.mark.parametrize("code", CODES)
+def test_standalone_direct_store(benchmark, code):
+    results = benchmark.pedantic(lambda: _run_modes(code), rounds=1,
+                                 iterations=1)
+    ccsm = results[CoherenceMode.CCSM]
+    rows = [(mode.value,
+             f"{(ccsm.total_ticks / r.total_ticks - 1) * 100:+.1f}%",
+             f"{r.network_messages:,}", f"{r.ds_forwarded_stores:,}")
+            for mode, r in results.items()]
+    print(f"\nABLATION — coherence modes ({code}, small)\n"
+          + format_table(
+              ["Mode", "Speedup over CCSM", "Coherence msgs",
+               "Forwards"], rows))
+
+    ds_only = results[CoherenceMode.DS_ONLY]
+    ds = results[CoherenceMode.DIRECT_STORE]
+    # the standalone replacement performs at least as well as CCSM...
+    assert ccsm.total_ticks >= ds_only.total_ticks * 0.98
+    # ...with dramatically fewer coherence messages (no broadcast)
+    assert ds_only.network_messages < 0.5 * ccsm.network_messages
+    # and co-existing DS already cuts traffic vs CCSM
+    assert ds.network_messages < ccsm.network_messages
+
+
+@pytest.mark.paper_figure("ablation-hybrid")
+def test_hybrid_sits_between_ccsm_and_full_ds(benchmark):
+    results = benchmark.pedantic(lambda: _run_modes("BP"), rounds=1,
+                                 iterations=1)
+    ccsm = results[CoherenceMode.CCSM].total_ticks
+    hybrid = results[CoherenceMode.HYBRID].total_ticks
+    full = results[CoherenceMode.DIRECT_STORE].total_ticks
+    print(f"\nBP small: CCSM {ccsm:,} / hybrid {hybrid:,} / DS {full:,}")
+    # homing only the large variables captures part of the benefit
+    assert hybrid <= ccsm * 1.001
+    assert full <= hybrid * 1.001
+    # and the hybrid forwards fewer stores than full direct store
+    assert (results[CoherenceMode.HYBRID].ds_forwarded_stores
+            <= results[CoherenceMode.DIRECT_STORE].ds_forwarded_stores)

@@ -1,0 +1,54 @@
+"""Ablation — direct store vs hardware prefetching (§IV intro).
+
+"While omitted for space, we have also compared direct stores to
+prefetching and find that direct store's performance improvements there
+are even higher."  This bench reconstructs that comparison: CCSM,
+CCSM + next-line prefetching (degrees 1/2/4), and direct store, on the
+two most prefetch-friendly streaming benchmarks.
+"""
+
+import pytest
+
+from repro.core.config import SystemConfig
+from repro.core.protocol_mode import CoherenceMode
+from repro.harness.reporting import format_table
+from repro.harness.runner import run_benchmark
+
+
+def _sweep(code):
+    baseline = run_benchmark(code, "small", CoherenceMode.CCSM)
+    rows = [("CCSM", 1.0)]
+    for degree in (1, 2, 4):
+        config = SystemConfig(track_values=False)
+        config.gpu.prefetch_degree = degree
+        result = run_benchmark(code, "small", CoherenceMode.CCSM, config)
+        rows.append((f"CCSM + prefetch(deg={degree})",
+                     baseline.total_ticks / result.total_ticks))
+    ds = run_benchmark(code, "small", CoherenceMode.DIRECT_STORE)
+    rows.append(("Direct store", baseline.total_ticks / ds.total_ticks))
+    return rows
+
+
+@pytest.mark.paper_figure("ablation-prefetch")
+@pytest.mark.parametrize("code", ["VA", "NN"])
+def test_direct_store_beats_prefetching(benchmark, code):
+    rows = benchmark.pedantic(lambda: _sweep(code), rounds=1, iterations=1)
+    print(f"\nABLATION — direct store vs prefetching ({code}, small)\n"
+          + format_table(
+              ["Configuration", "Speedup over CCSM"],
+              [(name, f"{(s - 1) * 100:+.1f}%") for name, s in rows]))
+
+    speedups = dict(rows)
+    ds = speedups["Direct store"]
+    best_prefetch = max(value for name, value in rows
+                        if name.startswith("CCSM + prefetch"))
+    # The grid-stride streams already expose maximal memory-level
+    # parallelism (every SM has independent misses in flight), so a
+    # reactive next-line prefetcher is roughly neutral: it cannot beat
+    # demand fetches that are all outstanding anyway, and its extra
+    # traffic can cost a little.
+    assert best_prefetch >= 0.97
+    # Direct store's improvement is higher — the paper's claim.
+    assert ds > best_prefetch + 0.05, (
+        f"{code}: DS {ds:.3f} should clearly beat best prefetch "
+        f"{best_prefetch:.3f}")

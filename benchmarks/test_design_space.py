@@ -1,0 +1,79 @@
+"""Design-space exploration — when does direct store help?
+
+Beyond reproducing the paper's fixed benchmark set, this bench sweeps
+the two axes its analysis keeps returning to — kernel reuse of the
+produced data and arithmetic intensity — on the parameterised
+synthetic workload, producing the "map" a system designer would want:
+the benefit is largest for single-pass, memory-lean consumers and
+decays smoothly along both axes.  Energy (first-order proxy) moves the
+same way: fewer coherence messages, less wire energy.
+"""
+
+import pytest
+
+from repro.core.config import SystemConfig
+from repro.core.energy import estimate_energy
+from repro.core.protocol_mode import CoherenceMode
+from repro.core.system import IntegratedSystem
+from repro.harness.reporting import format_table
+from repro.workloads.synthetic import (
+    SyntheticProducerConsumer,
+    SyntheticSpec,
+)
+
+REUSE_AXIS = [1, 2, 4, 8]
+COMPUTE_AXIS = [0, 8, 32]
+
+
+def _run(spec, mode):
+    system = IntegratedSystem(SystemConfig(track_values=False), mode)
+    return system.run(SyntheticProducerConsumer(spec))
+
+
+def _grid():
+    cells = {}
+    for reuse in REUSE_AXIS:
+        for compute in COMPUTE_AXIS:
+            spec = SyntheticSpec(footprint_bytes=512 * 1024,
+                                 reuse=reuse, compute_per_line=compute,
+                                 warps_per_sm=2, gen_cycles=6)
+            ccsm = _run(spec, CoherenceMode.CCSM)
+            ds = _run(spec, CoherenceMode.DIRECT_STORE)
+            cells[(reuse, compute)] = (ds.speedup_over(ccsm), ccsm, ds)
+    return cells
+
+
+@pytest.mark.paper_figure("design-space")
+def test_design_space_map(benchmark):
+    cells = benchmark.pedantic(_grid, rounds=1, iterations=1)
+
+    print("\nDESIGN SPACE — DS speedup by (reuse, compute/line), "
+          "512 KiB pushed\n" + format_table(
+              ["reuse \\ compute"] + [str(c) for c in COMPUTE_AXIS],
+              [[str(reuse)] + [
+                  f"{(cells[(reuse, c)][0] - 1) * 100:+.1f}%"
+                  for c in COMPUTE_AXIS]
+               for reuse in REUSE_AXIS]))
+
+    # the benefit peaks at single-pass, zero-compute consumption...
+    peak = cells[(1, 0)][0]
+    assert peak == max(cell[0] for cell in cells.values())
+    assert peak > 1.10
+    # ...decays monotonically along the reuse axis at fixed compute...
+    for compute in COMPUTE_AXIS:
+        column = [cells[(reuse, compute)][0] for reuse in REUSE_AXIS]
+        for faster, slower in zip(column, column[1:]):
+            assert slower <= faster + 0.02
+    # ...and never hurts anywhere on the map
+    assert min(cell[0] for cell in cells.values()) >= 0.98
+
+    # energy follows traffic: DS spends less wire energy at the peak cell
+    _speedup, ccsm, ds = cells[(1, 0)]
+    ccsm_energy = estimate_energy(ccsm)
+    ds_energy = estimate_energy(ds)
+    ccsm_wires = ccsm_energy.components["network"]
+    ds_wires = (ds_energy.components["network"]
+                + ds_energy.components["ds_network"])
+    print(f"\nwire energy at the peak cell: CCSM "
+          f"{ccsm_wires / 1e6:.2f} uJ vs DS {ds_wires / 1e6:.2f} uJ")
+    assert ds_wires < ccsm_wires

@@ -1,0 +1,46 @@
+"""Table I — the system configuration.
+
+Regenerates the configuration table and asserts the simulated machine
+is built exactly to it.
+"""
+
+import pytest
+
+from repro.core.config import SystemConfig
+from repro.core.protocol_mode import CoherenceMode
+from repro.core.system import IntegratedSystem
+
+
+@pytest.mark.paper_figure("table1")
+def test_table1_configuration(benchmark):
+    config = SystemConfig()
+
+    def build_and_describe():
+        system = IntegratedSystem(config, CoherenceMode.DIRECT_STORE)
+        return system, config.describe()
+
+    system, text = benchmark.pedantic(build_and_describe, rounds=1,
+                                      iterations=1)
+    print("\nTABLE I — SYSTEM CONFIGURATION\n" + text)
+
+    # the built machine matches the table, not just the dataclass
+    assert system.cpu_l1d.size_bytes == 64 * 1024
+    assert system.cpu_l1d.ways == 2
+    assert system.cpu_l1i.size_bytes == 32 * 1024
+    assert system.cpu_l2.size_bytes == 2 * 1024 ** 2
+    assert system.cpu_l2.ways == 8
+    assert len(system.sms) == 16
+    assert all(sm.l1.size_bytes == 16 * 1024 and sm.l1.ways == 4
+               for sm in system.sms)
+    assert len(system.gpu_l2_slices) == 4
+    assert sum(s.size_bytes for s in system.gpu_l2_slices) == 2 * 1024 ** 2
+    assert all(s.ways == 16 for s in system.gpu_l2_slices)
+    assert system.dram.config.size_bytes == 2 * 1024 ** 3
+    assert system.dram.config.total_banks == 16  # 2 ranks x 8 banks
+    assert all(cache.line_size == 128
+               for cache in [system.cpu_l1d, system.cpu_l2,
+                             *system.gpu_l2_slices,
+                             *[sm.l1 for sm in system.sms]])
+    # the dedicated direct-store network exists and reaches every slice
+    assert sorted(system.ds_network.slice_names) == \
+        sorted(system.slice_names)

@@ -1,0 +1,54 @@
+"""Table II — the benchmark inventory.
+
+Regenerates the table and checks every row instantiates a working
+trace generator with the right structural attributes.
+"""
+
+import pytest
+
+from repro.harness.reporting import format_table
+from repro.workloads.base import BuildContext
+from repro.workloads.suite import BENCHMARKS, TABLE2, get_workload
+from repro.workloads.trace import CpuPhase, KernelLaunch, OpKind
+
+
+@pytest.mark.paper_figure("table2")
+def test_table2_benchmarks(benchmark):
+    def build_inventory():
+        rows = []
+        for entry in TABLE2:
+            workload = get_workload(entry.code, "small")
+            rows.append((entry.code, entry.small_input, entry.big_input,
+                         entry.suite, "Yes" if entry.shared else "No",
+                         type(workload).__name__))
+        return rows
+
+    rows = benchmark.pedantic(build_inventory, rounds=1, iterations=1)
+    print("\nTABLE II — BENCHMARKS\n" + format_table(
+        ["Name", "Small input", "Big input", "Suite", "Shared",
+         "Generator"], rows))
+
+    assert len(rows) == 22
+    suites = {row[3] for row in rows}
+    assert {"Rodinia", "Parboil", "Pannotia", "NVIDIA SDK"} <= suites
+    shared_count = sum(1 for row in rows if row[4] == "Yes")
+    assert shared_count == 10  # Table II has 10 shared-memory benchmarks
+
+
+@pytest.mark.paper_figure("table2")
+def test_every_generator_produces_phases(benchmark):
+    addresses = iter(range(0x100000, 1 << 40, 1 << 24))
+    ctx = BuildContext(alloc=lambda n, s, g: next(addresses), num_sms=4)
+
+    def build_all():
+        return {code: BENCHMARKS[code]("small").build(ctx)
+                for code in BENCHMARKS}
+
+    phases_by_code = benchmark.pedantic(build_all, rounds=1, iterations=1)
+    for code, phases in phases_by_code.items():
+        kernels = [p for p in phases if isinstance(p, KernelLaunch)]
+        assert kernels, f"{code} has no GPU kernel"
+        if BENCHMARKS[code].uses_shared_memory:
+            shmem_ops = [op for kernel in kernels for warp in kernel.warps
+                         for op in warp.ops if op.kind is OpKind.SHMEM]
+            assert shmem_ops, f"{code} is Shared=Yes but uses no scratchpad"

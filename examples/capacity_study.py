@@ -1,0 +1,51 @@
+#!/usr/bin/env python
+"""When does direct store stop helping?  A GPU L2 capacity study.
+
+§IV-C's big-input discussion in one script: sweep the GPU L2 size
+against a fixed pushed footprint and watch the benefit appear exactly
+when the cache can hold what the producer pushes — and watch the paper's
+"never hurts" property hold even when it cannot.
+
+    python examples/capacity_study.py
+"""
+
+from repro.harness.reporting import ascii_bar_chart, format_table
+from repro.harness.sweep import sweep_config
+
+MIB = 1024 * 1024
+
+
+def main() -> None:
+    sizes = [MIB // 4, MIB // 2, MIB, 2 * MIB, 4 * MIB]
+    print("Sweeping GPU L2 capacity under NN/small "
+          "(~0.7 MiB of CPU-produced records)\n")
+    points = sweep_config(
+        "NN", "small", sizes,
+        lambda config, value: setattr(config.gpu, "l2_size", value),
+        label="l2")
+
+    print(format_table(
+        ["GPU L2", "Speedup", "CCSM miss rate", "DS miss rate",
+         "DRAM bypasses"],
+        [(f"{p.value // 1024} KiB",
+          f"{(p.speedup - 1) * 100:+.1f}%",
+          f"{p.comparison.ccsm_miss_rate:.1%}",
+          f"{p.comparison.ds_miss_rate:.1%}",
+          f"{int(p.comparison.direct_store.stats.get('hammer.ds_dram_bypass', 0)):,}")
+         for p in points]))
+
+    print("\n" + ascii_bar_chart(
+        [(f"{p.value // 1024}K", max(0.0, (p.speedup - 1) * 100))
+         for p in points], unit="%"))
+
+    print(
+        "\nReading the shape: below the pushed footprint the L2 cannot\n"
+        "retain the forwarded lines — the install path bypasses full sets\n"
+        "to DRAM (the paper's 'if the GPU L2 cache is full, the system\n"
+        "then writes data to DRAM') and the consumer misses as it would\n"
+        "under CCSM.  At 1 MiB and beyond the pushes survive, compulsory\n"
+        "misses vanish, and the speedup saturates.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,61 @@
+#!/usr/bin/env python
+"""Quickstart: run one benchmark under both protocols and compare.
+
+This is the five-minute tour of the library: build the paper's Table I
+machine, run the vectorAdd producer-consumer workload under pull-based
+CCSM and under push-based direct store, and print the numbers the paper
+cares about — total ticks, the GPU L2 miss rate, and coherence traffic.
+
+    python examples/quickstart.py [BENCHMARK_CODE] [small|big]
+"""
+
+import sys
+
+from repro import CoherenceMode, IntegratedSystem, SystemConfig
+from repro.harness.reporting import format_table
+from repro.workloads import get_workload
+
+
+def main() -> None:
+    code = sys.argv[1].upper() if len(sys.argv) > 1 else "VA"
+    input_size = sys.argv[2] if len(sys.argv) > 2 else "small"
+
+    print(f"Benchmark {code} ({input_size} input) on the Table I machine\n")
+    print(SystemConfig().describe())
+    print()
+
+    results = {}
+    for mode in (CoherenceMode.CCSM, CoherenceMode.DIRECT_STORE):
+        # systems are single-use: build a fresh one per run
+        config = SystemConfig(track_values=False)
+        system = IntegratedSystem(config, mode)
+        results[mode] = system.run(get_workload(code, input_size))
+        print(f"[{mode.value}] phase times:")
+        for name, start, end in system.phase_times:
+            print(f"    {name:<24s} {(end - start) / 1e6:10.1f} us")
+
+    ccsm = results[CoherenceMode.CCSM]
+    ds = results[CoherenceMode.DIRECT_STORE]
+    print("\n" + format_table(
+        ["Metric", "CCSM", "Direct store"],
+        [
+            ("total ticks", f"{ccsm.total_ticks:,}",
+             f"{ds.total_ticks:,}"),
+            ("GPU L2 accesses", f"{ccsm.gpu_l2.accesses:,}",
+             f"{ds.gpu_l2.accesses:,}"),
+            ("GPU L2 misses", f"{ccsm.gpu_l2.misses:,}",
+             f"{ds.gpu_l2.misses:,}"),
+            ("GPU L2 miss rate", f"{ccsm.gpu_l2_miss_rate:.1%}",
+             f"{ds.gpu_l2_miss_rate:.1%}"),
+            ("compulsory misses", f"{ccsm.gpu_l2.compulsory_misses:,}",
+             f"{ds.gpu_l2.compulsory_misses:,}"),
+            ("coherence messages", f"{ccsm.network_messages:,}",
+             f"{ds.network_messages:,}"),
+            ("forwarded stores", "-", f"{ds.ds_forwarded_stores:,}"),
+        ]))
+    speedup = ds.speedup_over(ccsm)
+    print(f"\ndirect store speedup over CCSM: {(speedup - 1) * 100:+.1f}%")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,75 @@
+#!/usr/bin/env python
+"""Run the §III-C source-to-source translator on a CUDA-like program.
+
+The translator is the paper's "no programmer effort" story: it scans
+kernel invocations, finds the ``malloc``/``cudaMalloc`` of every kernel
+argument, and rewrites each into an ``mmap(MAP_FIXED)`` at a reserved
+high-order window address — the address pattern the modified TLB
+detects.  This example translates a small vector-add program and prints
+the diff-style result plus the window layout.
+
+    python examples/translate_cuda_source.py
+"""
+
+from repro.core.translator import SourceTranslator
+from repro.harness.reporting import format_table
+
+VECADD_CU = """\
+#include <stdio.h>
+#define N 50000
+
+__global__ void vecadd(float *a, float *b, float *c) {
+    int i = blockIdx.x * blockDim.x + threadIdx.x;
+    if (i < N) c[i] = a[i] + b[i];
+}
+
+int main() {
+    float *a;
+    float *b;
+    float *c;
+    float *host_scratch;
+    a = (float *)malloc(N * sizeof(float));
+    b = (float *)malloc(N * sizeof(float));
+    c = (float *)malloc(N * sizeof(float));
+    host_scratch = (float *)malloc(4096);
+
+    for (int i = 0; i < N; i++) { a[i] = i; b[i] = 2 * i; }
+
+    vecadd<<<(N + 255) / 256, 256>>>(a, b, c);
+
+    return 0;
+}
+"""
+
+
+def main() -> None:
+    translator = SourceTranslator()
+    report = translator.translate_source(VECADD_CU, "vecadd.cu")
+
+    print("KERNEL INVOCATIONS FOUND")
+    for name, args in report.kernel_calls:
+        print(f"    {name}<<<...>>>({', '.join(args)})")
+
+    print("\nREWRITES")
+    for allocation in report.allocations:
+        print(f"  - {allocation.original_statement.strip()}")
+        print(f"  + {allocation.rewritten_statement.strip()}")
+
+    print("\nWINDOW LAYOUT (reserved high-order address range)")
+    print(format_table(
+        ["Variable", "Window address", "Size (bytes)", "Allocator"],
+        [(a.name, f"{a.window_address:#x}", f"{a.size_bytes:,}",
+          a.allocator) for a in report.allocations]))
+
+    untouched = "host_scratch = (float *)malloc(4096);"
+    assert untouched in report.translated_sources["vecadd.cu"], \
+        "non-kernel allocations must be left alone"
+    print("\nNOTE: host_scratch is not a kernel argument — its malloc "
+          "is untouched.")
+
+    print("\nTRANSLATED SOURCE\n" + "=" * 60)
+    print(report.translated_sources["vecadd.cu"])
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,5 @@
+"""Legacy shim for offline editable installs (pip lacks network for
+build isolation here); the real metadata lives in pyproject.toml."""
+from setuptools import setup
+
+setup()

@@ -1,0 +1,43 @@
+"""Direct store: push-based cache coherence for integrated CPU-GPU systems.
+
+This package reproduces *"A Simple Cache Coherence Scheme for Integrated
+CPU-GPU Systems"* (DAC 2020).  It provides:
+
+* a trace-driven, event-driven simulator of an integrated CPU-GPU system
+  (``repro.engine``, ``repro.cpu``, ``repro.gpu``, ``repro.mem``);
+* a faithful AMD Hammer (MOESI) broadcast coherence protocol plus the
+  paper's *direct store* extension (``repro.coherence``);
+* virtual memory with the reserved high-order direct-store window and the
+  modified TLB (``repro.vm``);
+* the core contribution — direct-store forwarding, the dedicated CPU to
+  GPU-L2 network, and the source-to-source translator (``repro.core``);
+* synthetic trace generators for all 22 benchmarks of the paper's Table II
+  (``repro.workloads``); and
+* an experiment harness regenerating every table and figure of the paper's
+  evaluation (``repro.harness`` and the ``benchmarks/`` tree).
+
+Quickstart::
+
+    from repro import IntegratedSystem, SystemConfig, CoherenceMode
+    from repro.workloads import get_workload
+
+    workload = get_workload("VA", input_size="small")
+    ccsm = IntegratedSystem(SystemConfig(), CoherenceMode.CCSM).run(workload)
+    ds = IntegratedSystem(SystemConfig(), CoherenceMode.DIRECT_STORE).run(workload)
+    print("speedup:", ccsm.total_ticks / ds.total_ticks)
+"""
+
+from repro.core.config import SystemConfig
+from repro.core.metrics import RunResult
+from repro.core.protocol_mode import CoherenceMode
+from repro.core.system import IntegratedSystem
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "SystemConfig",
+    "CoherenceMode",
+    "IntegratedSystem",
+    "RunResult",
+    "__version__",
+]

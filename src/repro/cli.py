@@ -1,0 +1,213 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Subcommands:
+
+``run``        run one Table II benchmark under one (or every) mode
+``compare``    CCSM vs direct store for one benchmark, paper metrics
+``figure4``    regenerate Fig. 4 (speedups + geomean) for one input size
+``figure5``    regenerate Fig. 5 (GPU L2 miss rates)
+``table1``     print the simulated Table I configuration
+``table2``     print the benchmark inventory
+``translate``  run the §III-C source translator on a .cu file
+``sweep``      ablation sweeps (ds-latency, ds-bandwidth, l2-size)
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.core.config import SystemConfig
+from repro.core.protocol_mode import CoherenceMode
+from repro.harness.experiments import figure4, figure5
+from repro.harness.reporting import ascii_bar_chart, format_table
+from repro.harness.runner import compare_modes, run_benchmark
+from repro.harness.sweep import sweep_config
+from repro.workloads.suite import TABLE2, benchmark_codes
+
+MODES = {mode.value: mode for mode in CoherenceMode}
+
+
+def _add_common(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--input-size", choices=("small", "big"),
+                        default="small")
+
+
+def _parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Direct store (DAC 2020) reproduction toolkit")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run = sub.add_parser("run", help="run one benchmark")
+    run.add_argument("code", help="Table II code, e.g. VA")
+    run.add_argument("--mode", choices=sorted(MODES) + ["all"],
+                     default="direct_store")
+    _add_common(run)
+
+    compare = sub.add_parser("compare", help="CCSM vs direct store")
+    compare.add_argument("code")
+    _add_common(compare)
+
+    fig4 = sub.add_parser("figure4", help="regenerate Fig. 4")
+    _add_common(fig4)
+    fig4.add_argument("--codes", nargs="*", default=None)
+
+    fig5 = sub.add_parser("figure5", help="regenerate Fig. 5")
+    _add_common(fig5)
+    fig5.add_argument("--codes", nargs="*", default=None)
+
+    sub.add_parser("table1", help="print the system configuration")
+    sub.add_parser("table2", help="print the benchmark inventory")
+
+    translate = sub.add_parser("translate",
+                               help="source-to-source translate a file")
+    translate.add_argument("path")
+    translate.add_argument("--output", "-o", default=None,
+                           help="write the translated source here")
+
+    sweep = sub.add_parser("sweep", help="ablation sweeps")
+    sweep.add_argument("what", choices=("ds-latency", "ds-bandwidth",
+                                        "l2-size"))
+    sweep.add_argument("code", nargs="?", default="VA")
+    _add_common(sweep)
+    return parser
+
+
+def _cmd_run(args) -> int:
+    modes = (list(CoherenceMode) if args.mode == "all"
+             else [MODES[args.mode]])
+    rows = []
+    for mode in modes:
+        result = run_benchmark(args.code, args.input_size, mode)
+        rows.append((mode.value, f"{result.total_ticks:,}",
+                     f"{result.gpu_l2_miss_rate:.1%}",
+                     f"{result.network_messages:,}",
+                     f"{result.ds_forwarded_stores:,}"))
+    print(format_table(
+        ["Mode", "Total ticks", "GPU L2 miss rate", "Coherence msgs",
+         "Forwards"], rows))
+    return 0
+
+
+def _cmd_compare(args) -> int:
+    comparison = compare_modes(args.code, args.input_size)
+    print(format_table(
+        ["Metric", "CCSM", "Direct store"],
+        [("total ticks", f"{comparison.ccsm.total_ticks:,}",
+          f"{comparison.direct_store.total_ticks:,}"),
+         ("GPU L2 miss rate", f"{comparison.ccsm_miss_rate:.1%}",
+          f"{comparison.ds_miss_rate:.1%}"),
+         ("compulsory misses",
+          f"{comparison.ccsm.gpu_l2.compulsory_misses:,}",
+          f"{comparison.direct_store.gpu_l2.compulsory_misses:,}")]))
+    print(f"\nspeedup: {comparison.speedup_percent:+.1f}%")
+    return 0
+
+
+def _cmd_figure4(args) -> int:
+    rows = figure4(args.input_size, codes=args.codes,
+                   progress=lambda code: print(f"  running {code}...",
+                                               file=sys.stderr))
+    print(f"FIG. 4 — speedup, {args.input_size} inputs")
+    print(ascii_bar_chart(
+        [(row.code, max(0.0, row.speedup_percent)) for row in rows],
+        unit="%"))
+    from repro.harness.experiments import geomean_nonzero_speedup
+    geomean = geomean_nonzero_speedup(rows)
+    print(f"geomean of non-zero speedups: {(geomean - 1) * 100:.1f}%")
+    return 0
+
+
+def _cmd_figure5(args) -> int:
+    rows = figure5(args.input_size, codes=args.codes,
+                   progress=lambda code: print(f"  running {code}...",
+                                               file=sys.stderr))
+    print(f"FIG. 5 — GPU L2 miss rate, {args.input_size} inputs")
+    print(format_table(
+        ["Name", "CCSM", "Direct store"],
+        [(row.code, f"{row.ccsm_miss_rate:.1%}",
+          f"{row.ds_miss_rate:.1%}") for row in rows]))
+    return 0
+
+
+def _cmd_table1(_args) -> int:
+    print(SystemConfig().describe())
+    return 0
+
+
+def _cmd_table2(_args) -> int:
+    print(format_table(
+        ["Name", "Small input", "Big input", "Suite", "Shared"],
+        [(row.code, row.small_input, row.big_input, row.suite,
+          "Yes" if row.shared else "No") for row in TABLE2]))
+    return 0
+
+
+def _cmd_translate(args) -> int:
+    from repro.core.translator import SourceTranslator
+    with open(args.path) as handle:
+        source = handle.read()
+    report = SourceTranslator().translate_source(source, args.path)
+    for allocation in report.allocations:
+        print(f"{allocation.name}: {allocation.window_address:#x} "
+              f"({allocation.size_bytes:,} bytes, "
+              f"was {allocation.allocator})", file=sys.stderr)
+    if report.unresolved:
+        print(f"warning: unresolved kernel arguments: "
+              f"{', '.join(report.unresolved)}", file=sys.stderr)
+    translated = report.translated_sources[args.path]
+    if args.output:
+        with open(args.output, "w") as handle:
+            handle.write(translated)
+        print(f"wrote {args.output}", file=sys.stderr)
+    else:
+        print(translated)
+    return 0
+
+
+def _cmd_sweep(args) -> int:
+    if args.what == "ds-latency":
+        values: List[object] = [2, 8, 32, 128]
+        apply = lambda cfg, v: setattr(cfg.network, "ds_latency_cycles", v)
+    elif args.what == "ds-bandwidth":
+        values = [64, 32, 16, 4]
+        apply = lambda cfg, v: setattr(cfg.network, "ds_bytes_per_cycle", v)
+    else:
+        mib = 1024 * 1024
+        values = [mib // 4, mib // 2, mib, 2 * mib, 4 * mib]
+        apply = lambda cfg, v: setattr(cfg.gpu, "l2_size", v)
+    points = sweep_config(args.code, args.input_size, values, apply,
+                          label=args.what)
+    print(format_table(
+        [args.what, "Speedup", "DS miss rate"],
+        [(point.value, f"{(point.speedup - 1) * 100:+.1f}%",
+          f"{point.comparison.ds_miss_rate:.1%}") for point in points]))
+    return 0
+
+
+_COMMANDS = {
+    "run": _cmd_run,
+    "compare": _cmd_compare,
+    "figure4": _cmd_figure4,
+    "figure5": _cmd_figure5,
+    "table1": _cmd_table1,
+    "table2": _cmd_table2,
+    "translate": _cmd_translate,
+    "sweep": _cmd_sweep,
+}
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = _parser().parse_args(argv)
+    if args.command in ("run", "compare") :
+        if args.code.upper() not in benchmark_codes():
+            print(f"unknown benchmark {args.code!r}; choose from "
+                  f"{', '.join(benchmark_codes())}", file=sys.stderr)
+            return 2
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

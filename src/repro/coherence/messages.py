@@ -1,0 +1,58 @@
+"""Coherence message vocabulary.
+
+These are the payloads carried inside
+:class:`~repro.interconnect.message.NetworkMessage` objects.  The
+direct-store scheme adds exactly one message type — ``DS_PUTX``, the
+forwarded store that the paper describes as *"issued as PUTX action
+indicating the store is to the GPU L2 cache"* — and removes the need for
+GETS/GETX/probe traffic on direct-store data entirely (§III-H).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Dict, Optional
+
+
+class CoherenceMsgType(Enum):
+    """Request, probe, and response flavours."""
+
+    GETS = "GETS"            # read request (shared)
+    GETX = "GETX"            # write request (exclusive)
+    PROBE_GETS = "PrbS"      # broadcast probe for a GETS
+    PROBE_GETX = "PrbX"      # broadcast probe for a GETX (invalidate)
+    DATA = "Data"            # data response (owner or memory)
+    ACK = "Ack"              # probe acknowledgement, no data
+    PUTX = "PUTX"            # dirty writeback
+    PUTS = "PUTS"            # clean eviction notice
+    DS_PUTX = "DS_PUTX"      # direct-store forwarded write (the extension)
+
+    @property
+    def carries_data(self) -> bool:
+        return self in (CoherenceMsgType.DATA, CoherenceMsgType.PUTX,
+                        CoherenceMsgType.DS_PUTX)
+
+    @property
+    def is_request(self) -> bool:
+        return self in (CoherenceMsgType.GETS, CoherenceMsgType.GETX)
+
+
+@dataclass
+class CoherenceMessage:
+    """One protocol message (placed in a NetworkMessage payload)."""
+
+    msg_type: CoherenceMsgType
+    line_address: int
+    requestor: str
+    #: line payload for data-carrying messages (``None`` = untracked)
+    data: Optional[Dict[int, int]] = None
+    #: for DS_PUTX: the written word offset within the line
+    word_offset: Optional[int] = None
+    #: for DS_PUTX: the written value (``None`` = untracked)
+    value: Optional[int] = None
+    extra: dict = field(default_factory=dict)
+
+    def __repr__(self) -> str:
+        return (f"CoherenceMessage({self.msg_type.value} "
+                f"line={self.line_address:#x} from={self.requestor})")

@@ -1,0 +1,98 @@
+"""Protocol transition tracing.
+
+Attach a :class:`ProtocolTracer` to a
+:class:`~repro.coherence.hammer.HammerSystem` and every state transition
+is recorded as a structured event — which agent, which line, what
+happened, old state → new state, at what tick.  Useful for debugging
+protocol changes, teaching (see ``examples/protocol_trace.py`` for the
+narrative version), and writing tests that assert on *how* a result was
+reached rather than just the result.
+
+The tracer is pure observation: attaching one never changes simulated
+timing or state.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Iterable, List, Optional
+
+
+@dataclass(frozen=True)
+class TransitionEvent:
+    """One observed protocol transition."""
+
+    tick: int
+    agent: str
+    line_address: int
+    event: str          # e.g. "Store", "ProbeGETX", "RemoteStoreArrive"
+    old_state: str      # "I", "S", "O", "M", "MM" or "-" (absent)
+    new_state: str
+
+    def __str__(self) -> str:
+        return (f"[{self.tick:>12}] {self.agent:<14s} "
+                f"line {self.line_address:#010x}  {self.event:<18s} "
+                f"{self.old_state:>2s} -> {self.new_state}")
+
+
+class ProtocolTracer:
+    """Bounded in-memory log of protocol transitions."""
+
+    def __init__(self, capacity: int = 100_000) -> None:
+        if capacity <= 0:
+            raise ValueError("tracer capacity must be positive")
+        self.capacity = capacity
+        self.events: List[TransitionEvent] = []
+        self.dropped = 0
+
+    def record(self, tick: int, agent: str, line_address: int,
+               event: str, old_state: str, new_state: str) -> None:
+        """Append one transition (drops silently past capacity)."""
+        if len(self.events) >= self.capacity:
+            self.dropped += 1
+            return
+        self.events.append(TransitionEvent(
+            tick, agent, line_address, event, old_state, new_state))
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+
+    def for_line(self, line_address: int) -> List[TransitionEvent]:
+        """Every transition touching *line_address*, in order."""
+        return [event for event in self.events
+                if event.line_address == line_address]
+
+    def for_agent(self, agent: str) -> List[TransitionEvent]:
+        return [event for event in self.events if event.agent == agent]
+
+    def matching(self, predicate: Callable[[TransitionEvent], bool]
+                 ) -> List[TransitionEvent]:
+        return [event for event in self.events if predicate(event)]
+
+    def state_history(self, agent: str,
+                      line_address: int) -> List[str]:
+        """The sequence of states *line_address* passed through at *agent*."""
+        history = []
+        for event in self.events:
+            if event.agent == agent and event.line_address == line_address:
+                if not history:
+                    history.append(event.old_state)
+                history.append(event.new_state)
+        return history
+
+    def format(self, events: Optional[Iterable[TransitionEvent]] = None
+               ) -> str:
+        """Render events (default: all) one per line."""
+        selected = self.events if events is None else list(events)
+        lines = [str(event) for event in selected]
+        if self.dropped:
+            lines.append(f"... ({self.dropped} events dropped at capacity)")
+        return "\n".join(lines)
+
+    def clear(self) -> None:
+        self.events.clear()
+        self.dropped = 0
+
+    def __len__(self) -> int:
+        return len(self.events)

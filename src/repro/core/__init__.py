@@ -1,0 +1,48 @@
+"""The paper's core contribution: direct store.
+
+This package assembles the substrates (engine, memory, VM, coherence,
+interconnect, CPU, GPU) into the integrated CPU-GPU system of the paper
+and adds the pieces that *are* the contribution:
+
+* :class:`~repro.core.protocol_mode.CoherenceMode` — CCSM baseline,
+  direct store alongside CCSM, standalone direct store (§III-H), and the
+  per-variable hybrid (§III-H);
+* :class:`~repro.core.direct_store.DirectStoreUnit` — the allocation
+  policy plus the physical-line registry the coherence engine consults;
+* :class:`~repro.core.translator.SourceTranslator` — the §III-C
+  source-to-source translator over CUDA-C-like sources;
+* :class:`~repro.core.system.IntegratedSystem` — the top-level builder
+  and runner;
+* :class:`~repro.core.config.SystemConfig` — Table I in a dataclass;
+* :class:`~repro.core.metrics.RunResult` — everything the evaluation
+  section measures, from one run.
+"""
+
+from repro.core.config import SystemConfig
+from repro.core.direct_store import DirectStoreUnit, should_home_on_gpu
+from repro.core.energy import EnergyBreakdown, EnergyWeights, estimate_energy
+from repro.core.metrics import RunResult
+from repro.core.overhead import OverheadReport, compute_overhead
+from repro.core.program import TranslatedWorkload
+from repro.core.protocol_mode import CoherenceMode
+from repro.core.regions import DirectStoreRegionRegistry
+from repro.core.system import IntegratedSystem
+from repro.core.translator import SourceTranslator, TranslationReport
+
+__all__ = [
+    "SystemConfig",
+    "EnergyBreakdown",
+    "EnergyWeights",
+    "estimate_energy",
+    "OverheadReport",
+    "compute_overhead",
+    "TranslatedWorkload",
+    "DirectStoreUnit",
+    "should_home_on_gpu",
+    "RunResult",
+    "CoherenceMode",
+    "DirectStoreRegionRegistry",
+    "IntegratedSystem",
+    "SourceTranslator",
+    "TranslationReport",
+]

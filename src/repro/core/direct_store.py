@@ -1,0 +1,118 @@
+"""The direct-store allocation policy and bookkeeping unit.
+
+§III-C: the translator homes on the GPU every variable that appears as a
+CUDA kernel argument.  §III-H adds two refinements: standalone mode
+(everything shared is homed, CCSM removed) and hybrid mode (only large
+variables are homed).  :func:`should_home_on_gpu` is that policy;
+:class:`DirectStoreUnit` applies it at allocation time and maintains the
+region registry the rest of the system consults.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.core.protocol_mode import CoherenceMode
+from repro.core.regions import DirectStoreRegionRegistry
+from repro.utils.statistics import StatsRegistry
+from repro.vm.mmap import MmapAllocator, Region
+from repro.vm.pagetable import PageTable
+
+
+def should_home_on_gpu(mode: CoherenceMode, gpu_accessed: bool,
+                       size_bytes: int, hybrid_threshold: int) -> bool:
+    """Decide whether a buffer is homed on the GPU (allocated in the window).
+
+    Args:
+        mode: the system's coherence mode.
+        gpu_accessed: the buffer appears as a kernel argument (what the
+            translator detects by scanning ``kernel<<<...>>>(args)``).
+        size_bytes: requested allocation size.
+        hybrid_threshold: HYBRID mode's minimum size for homing.
+    """
+    if not gpu_accessed:
+        return False
+    if mode is CoherenceMode.CCSM:
+        return False
+    if mode is CoherenceMode.HYBRID:
+        return size_bytes >= hybrid_threshold
+    return True  # DIRECT_STORE and DS_ONLY home every kernel argument
+
+
+class DirectStoreUnit:
+    """Allocation-time direct-store support.
+
+    Owns the window allocator cursor behaviour (via
+    :class:`~repro.vm.mmap.MmapAllocator`), eagerly maps window pages
+    (the translator emits ``MAP_FIXED`` mappings of known size up
+    front), and records their frames in the registry.
+    """
+
+    def __init__(self, mode: CoherenceMode, allocator: MmapAllocator,
+                 page_table: PageTable,
+                 registry: Optional[DirectStoreRegionRegistry] = None,
+                 hybrid_threshold: int = 64 * 1024) -> None:
+        self.mode = mode
+        self.allocator = allocator
+        self.page_table = page_table
+        self.registry = registry or DirectStoreRegionRegistry(
+            page_table.page_size)
+        self.hybrid_threshold = hybrid_threshold
+        self.stats = StatsRegistry("dsu")
+        self._homed = self.stats.counter("buffers_homed")
+        self._heap = self.stats.counter("buffers_heap")
+
+    def allocate(self, name: str, size_bytes: int,
+                 gpu_accessed: bool) -> Region:
+        """Allocate one program buffer under the current mode's policy."""
+        if should_home_on_gpu(self.mode, gpu_accessed, size_bytes,
+                              self.hybrid_threshold):
+            region = self.allocator.mmap_fixed_direct_store(size_bytes, name)
+            pfns = self._map_region(region)
+            self.registry.register(region, pfns)
+            self._homed.increment()
+            return region
+        self._heap.increment()
+        return self.allocator.malloc(size_bytes, name)
+
+    def allocate_at(self, name: str, window_address: int,
+                    size_bytes: int) -> Region:
+        """Place a buffer exactly where the translator's ``mmap`` put it.
+
+        Used when replaying a :class:`~repro.core.translator`
+        translation: under a forwarding mode the buffer lands at the
+        report's fixed window address; under CCSM the same program would
+        never have been translated, so it falls back to the heap.
+        """
+        from repro.vm.mmap import MAP_FIXED
+        if not self.mode.forwarding_enabled:
+            self._heap.increment()
+            return self.allocator.malloc(size_bytes, name)
+        region = self.allocator.mmap(size_bytes, addr=window_address,
+                                     flags=MAP_FIXED, name=name)
+        if not region.direct_store:
+            raise ValueError(
+                f"{name}: address {window_address:#x} is outside the "
+                f"direct-store window")
+        pfns = self._map_region(region)
+        self.registry.register(region, pfns)
+        self._homed.increment()
+        return region
+
+    def is_ds_physical_line(self, line_address: int) -> bool:
+        """Predicate handed to the coherence engine's CPU agent."""
+        return self.registry.is_ds_physical_line(line_address)
+
+    def _map_region(self, region: Region) -> List[int]:
+        """Eagerly map every page of a window region; return the PFNs."""
+        pfns: List[int] = []
+        page_size = self.page_table.page_size
+        for page_start in range(region.start, region.end, page_size):
+            vpn = self.page_table.vpn(page_start)
+            pfn = self.page_table.map_page(vpn)
+            pfns.append(pfn)
+        return pfns
+
+    @property
+    def buffers_homed(self) -> int:
+        return self._homed.value

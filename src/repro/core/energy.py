@@ -1,0 +1,87 @@
+"""A first-order memory-system energy proxy.
+
+The paper evaluates performance only, but its related work frames
+prefetching/coherence choices in power terms as well, and direct
+store's traffic reduction translates directly into energy.  This module
+applies standard per-event energy weights (CACTI/DRAMPower-era orders
+of magnitude, 22-28 nm class) to a run's statistics:
+
+* cache accesses (per level, by array size class),
+* DRAM reads/writes,
+* interconnect traffic (per byte, per hop class).
+
+Absolute joules are not the point — the CCSM-vs-DS *ratio* on identical
+work is, exactly like the paper's tick ratios.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+from repro.core.metrics import RunResult
+
+
+@dataclass(frozen=True)
+class EnergyWeights:
+    """Per-event energies in picojoules."""
+
+    l1_access_pj: float = 10.0
+    l2_access_pj: float = 40.0
+    dram_read_pj: float = 2000.0
+    dram_write_pj: float = 2000.0
+    #: per byte moved on the coherence crossbar (wires + buffers)
+    network_byte_pj: float = 1.0
+    #: per byte on the shorter dedicated point-to-point link
+    ds_network_byte_pj: float = 0.6
+    #: per TLB detector comparison (a handful of gates)
+    detector_pj: float = 0.05
+
+
+@dataclass
+class EnergyBreakdown:
+    """Energy per component for one run, in picojoules."""
+
+    components: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def total_pj(self) -> float:
+        return sum(self.components.values())
+
+    def summary(self) -> str:
+        total = self.total_pj or 1.0
+        lines = [f"{name:<16s} {value / 1e6:10.2f} uJ "
+                 f"({value / total:6.1%})"
+                 for name, value in sorted(self.components.items(),
+                                           key=lambda kv: -kv[1])]
+        lines.append(f"{'total':<16s} {total / 1e6:10.2f} uJ")
+        return "\n".join(lines)
+
+
+def estimate_energy(result: RunResult,
+                    weights: EnergyWeights = EnergyWeights()
+                    ) -> EnergyBreakdown:
+    """Apply *weights* to one run's event counts."""
+    stats = result.stats
+    breakdown = EnergyBreakdown()
+    breakdown.components["gpu_l1"] = (
+        result.gpu_l1.accesses * weights.l1_access_pj)
+    breakdown.components["cpu_l1d"] = (
+        result.cpu_l1d.accesses * weights.l1_access_pj)
+    breakdown.components["gpu_l2"] = (
+        result.gpu_l2.accesses * weights.l2_access_pj)
+    breakdown.components["cpu_l2"] = (
+        result.cpu_l2.accesses * weights.l2_access_pj)
+    breakdown.components["dram"] = (
+        result.dram_reads * weights.dram_read_pj
+        + result.dram_writes * weights.dram_write_pj)
+    breakdown.components["network"] = (
+        result.network_bytes * weights.network_byte_pj)
+    ds_bytes = stats.get("dsnet.bytes", 0.0)
+    breakdown.components["ds_network"] = (
+        ds_bytes * weights.ds_network_byte_pj)
+    detections = stats.get(
+        "cpu.tlb.direct_store_detections", 0.0)
+    breakdown.components["tlb_detector"] = (
+        detections * weights.detector_pj)
+    return breakdown

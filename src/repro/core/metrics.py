@@ -1,0 +1,104 @@
+"""Run metrics — everything §IV measures, from one simulation.
+
+The evaluation reports (a) total ticks (Fig. 4's speedups are tick
+ratios), (b) GPU L2 miss rates (Fig. 5), and (c) compulsory-miss counts.
+:class:`RunResult` captures those plus enough surrounding detail
+(traffic, DRAM behaviour, per-cache snapshots) to debug a surprising
+number.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+
+@dataclass
+class CacheSnapshot:
+    """Demand statistics of one cache at the end of a run."""
+
+    accesses: int = 0
+    hits: int = 0
+    misses: int = 0
+    compulsory_misses: int = 0
+    evictions: int = 0
+
+    @property
+    def miss_rate(self) -> float:
+        if self.accesses == 0:
+            return 0.0
+        return self.misses / self.accesses
+
+
+@dataclass
+class RunResult:
+    """Everything measured in one workload execution."""
+
+    workload: str
+    mode: str
+    total_ticks: int
+    gpu_l2: CacheSnapshot = field(default_factory=CacheSnapshot)
+    gpu_l1: CacheSnapshot = field(default_factory=CacheSnapshot)
+    cpu_l1d: CacheSnapshot = field(default_factory=CacheSnapshot)
+    cpu_l2: CacheSnapshot = field(default_factory=CacheSnapshot)
+    #: coherence crossbar traffic
+    network_messages: int = 0
+    network_bytes: int = 0
+    #: dedicated-network traffic
+    ds_messages: int = 0
+    ds_forwarded_stores: int = 0
+    dram_reads: int = 0
+    dram_writes: int = 0
+    cpu_loads: int = 0
+    cpu_stores: int = 0
+    events_fired: int = 0
+    #: flat dump of every component statistic, for deep dives
+    stats: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def gpu_l2_miss_rate(self) -> float:
+        """The Fig. 5 metric."""
+        return self.gpu_l2.miss_rate
+
+    def speedup_over(self, baseline: "RunResult") -> float:
+        """Fig. 4's metric: baseline ticks over ours (>1 means faster).
+
+        The paper normalises direct-store ticks to CCSM ticks; call this
+        on the direct-store result with the CCSM result as *baseline*.
+        """
+        if self.total_ticks == 0:
+            raise ValueError("run finished at tick 0; nothing executed")
+        return baseline.total_ticks / self.total_ticks
+
+    def summary(self) -> str:
+        """One-paragraph human-readable digest."""
+        return (
+            f"{self.workload} [{self.mode}]: {self.total_ticks:,} ticks; "
+            f"GPU L2 {self.gpu_l2.misses:,}/{self.gpu_l2.accesses:,} misses "
+            f"({self.gpu_l2_miss_rate:.1%}, "
+            f"{self.gpu_l2.compulsory_misses:,} compulsory); "
+            f"network {self.network_messages:,} msgs; "
+            f"forwarded {self.ds_forwarded_stores:,} stores")
+
+
+def snapshot_cache(cache) -> CacheSnapshot:
+    """Build a :class:`CacheSnapshot` from a SetAssociativeCache."""
+    return CacheSnapshot(
+        accesses=cache.accesses,
+        hits=cache.hits,
+        misses=cache.misses,
+        compulsory_misses=cache.compulsory_misses,
+        evictions=cache.stats.counter("evictions").value,
+    )
+
+
+def merge_snapshots(*snapshots: CacheSnapshot) -> CacheSnapshot:
+    """Aggregate several caches (e.g. the four GPU L2 slices) into one."""
+    merged = CacheSnapshot()
+    for snap in snapshots:
+        merged.accesses += snap.accesses
+        merged.hits += snap.hits
+        merged.misses += snap.misses
+        merged.compulsory_misses += snap.compulsory_misses
+        merged.evictions += snap.evictions
+    return merged

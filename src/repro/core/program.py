@@ -1,0 +1,72 @@
+"""Translated programs: closing the §III loop from source to simulation.
+
+The paper's workflow is *source → translator → compile → run*.  This
+module replays a :class:`~repro.core.translator.TranslationReport`
+inside the simulator: each translated variable is allocated at the
+exact fixed window address the translator's ``mmap(MAP_FIXED)``
+statement names (under CCSM the same program runs untranslated, so the
+buffers fall back to the heap), and a caller-supplied trace builder
+describes what the program does with them.
+
+Example::
+
+    report = SourceTranslator().translate_source(VECADD_CU)
+
+    def phases(ctx, buffers):
+        produce = CpuPhase("produce", [...stores into buffers["a"]...])
+        kernel = KernelLaunch("vecadd", [...])
+        return [produce, kernel]
+
+    workload = TranslatedWorkload(report, phases)
+    result = IntegratedSystem(config, mode).run(workload)
+
+See ``examples/end_to_end_translation.py`` for the complete flow.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+from repro.core.translator import TranslationReport
+from repro.workloads.base import BuildContext, Workload
+
+#: builds the program's phases given the final buffer base addresses
+PhaseBuilder = Callable[[BuildContext, Dict[str, int]], List[object]]
+
+
+class TranslatedWorkload(Workload):
+    """A workload whose buffers come from a translation report."""
+
+    code = "TR"
+    name = "translated-program"
+
+    def __init__(self, report: TranslationReport,
+                 phase_builder: PhaseBuilder,
+                 input_size: str = "small") -> None:
+        super().__init__(input_size)
+        if report.unresolved:
+            raise ValueError(
+                "cannot replay a translation with unresolved kernel "
+                f"arguments: {', '.join(report.unresolved)}")
+        if not report.allocations:
+            raise ValueError("the translation rewrote no allocations")
+        self.report = report
+        self._phase_builder = phase_builder
+        #: variable name -> base VA, filled in by :meth:`build`
+        self.buffers: Dict[str, int] = {}
+
+    def build(self, ctx: BuildContext) -> List[object]:
+        self.buffers = {}
+        for allocation in self.report.allocations:
+            if ctx.alloc_at is not None:
+                base = ctx.alloc_at(allocation.name,
+                                    allocation.window_address,
+                                    allocation.size_bytes)
+            else:
+                base = ctx.alloc(allocation.name, allocation.size_bytes,
+                                 True)
+            self.buffers[allocation.name] = base
+        phases = self._phase_builder(ctx, dict(self.buffers))
+        if not phases:
+            raise ValueError("the phase builder produced no phases")
+        return phases

@@ -1,0 +1,37 @@
+"""Coherence operating modes."""
+
+from __future__ import annotations
+
+from enum import Enum
+
+
+class CoherenceMode(Enum):
+    """How CPU-GPU shared data is kept coherent.
+
+    * ``CCSM`` — the paper's baseline: pull-based cache-coherent shared
+      memory over the Hammer protocol.  The TLB detector is ignored and
+      nothing is forwarded.
+    * ``DIRECT_STORE`` — the paper's main configuration: direct store
+      co-existing with CCSM.  Every GPU-accessed buffer is homed on the
+      GPU (the translator's behaviour); everything else stays coherent.
+    * ``DS_ONLY`` — §III-H's standalone replacement: direct store *is*
+      the CPU-GPU communication mechanism and the broadcast machinery is
+      switched off entirely (no probes; misses fetch from memory).
+    * ``HYBRID`` — §III-H's per-variable split: only *large* GPU-accessed
+      buffers are homed on the GPU; small ones use CCSM.
+    """
+
+    CCSM = "ccsm"
+    DIRECT_STORE = "direct_store"
+    DS_ONLY = "ds_only"
+    HYBRID = "hybrid"
+
+    @property
+    def forwarding_enabled(self) -> bool:
+        """Does the CPU forward window stores over the dedicated network?"""
+        return self is not CoherenceMode.CCSM
+
+    @property
+    def broadcast_enabled(self) -> bool:
+        """Is the Hammer broadcast fabric active?"""
+        return self is not CoherenceMode.DS_ONLY

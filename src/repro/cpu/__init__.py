@@ -1,0 +1,14 @@
+"""The CPU model: an in-order core with a private cache hierarchy.
+
+Table I configuration: one core, 64 KiB 2-way L1D, 32 KiB 2-way L1I,
+2 MiB 8-way L2.  The L2 is the CPU's coherent agent; the L1D is a
+write-through cache kept inclusive under it (the engine back-invalidates
+it when the L2 loses a line).  Stores retire into a store buffer and
+drain in the background — this is where direct store's extra CPU store
+latency is absorbed or exposed.
+"""
+
+from repro.cpu.core import CpuCore
+from repro.cpu.hierarchy import CpuMemorySubsystem
+
+__all__ = ["CpuCore", "CpuMemorySubsystem"]

@@ -1,0 +1,236 @@
+"""The CPU memory subsystem: a write-back L1D over the coherent L2 port.
+
+Routing (paper Fig. 2, left):
+
+* ordinary loads/stores go L1D → coherent L2.  The L1D is write-back,
+  write-allocate (an Opteron-style L1): stores that hit retire in the
+  L1, and dirtier-than-L2 data is flushed down whenever the L2 is
+  probed or evicts the line (the ``on_probe`` / ``pre_victim`` hooks),
+  preserving coherence visibility;
+* stores whose translation carries the TLB's direct-store signal are
+  *forwarded*: they bypass the whole local hierarchy and travel the
+  dedicated network to the GPU L2 (``engine.remote_store``);
+* loads from the direct-store window never allocate locally ("can never
+  be cached on the CPU side"): they are uncached reads serviced by the
+  home GPU L2 slice or memory.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional, Tuple
+
+from repro.coherence.hammer import AccessResult, HammerSystem
+from repro.coherence.port import CoherentPort
+from repro.engine.clock import ClockDomain
+from repro.engine.event import EventQueue
+from repro.mem.cache import SetAssociativeCache
+from repro.utils.statistics import StatsRegistry
+from repro.vm.mmu import Translation
+
+Callback = Callable[[AccessResult], None]
+
+#: returns the GPU L2 slice agent name that homes a physical line
+SliceRouter = Callable[[int], str]
+
+
+class CpuMemorySubsystem:
+    """L1D + coherent port + the direct-store forwarding path."""
+
+    def __init__(self, name: str, queue: EventQueue, clock: ClockDomain,
+                 l1d: SetAssociativeCache, port: CoherentPort,
+                 engine: HammerSystem, slice_router: SliceRouter,
+                 l1_latency_cycles: int = 2,
+                 forward_enabled: bool = False) -> None:
+        self.name = name
+        self.queue = queue
+        self.clock = clock
+        self.l1d = l1d
+        self.port = port
+        self.engine = engine
+        self.slice_router = slice_router
+        self.l1_latency_cycles = l1_latency_cycles
+        #: direct-store forwarding switched on (mode is DS / DS-only /
+        #: hybrid); with it off the TLB signal is ignored (pure CCSM).
+        self.forward_enabled = forward_enabled
+        self.stats = StatsRegistry(name)
+        self._loads = self.stats.counter("loads")
+        self._stores = self.stats.counter("stores")
+        self._forwarded = self.stats.counter(
+            "forwarded_stores", "stores sent over the dedicated network")
+        self._uncached = self.stats.counter("uncached_loads")
+
+    # ------------------------------------------------------------------
+
+    def invalidate_l1(self, line_address: int) -> None:
+        """Back-invalidation hook: the coherent L2 lost *line_address*."""
+        self.l1d.invalidate(line_address)
+
+    def flush_l1_to_l2(self, line_address: int) -> None:
+        """Probe/eviction hook: push dirty L1 words down into the L2 line.
+
+        Called by the coherence engine *before* it reads the L2 line on a
+        probe, and by the L2 array before it copies an eviction victim —
+        so snoopers and writebacks always observe the newest data.
+        """
+        l1_line = self.l1d.probe(line_address)
+        if l1_line is None or not l1_line.dirty:
+            return
+        l2_line = self.port.engine.agents[self.port.agent_name].cache.probe(
+            line_address)
+        if l2_line is None:
+            return
+        if l1_line.data is not None:
+            if l2_line.data is None:
+                l2_line.data = {}
+            l2_line.data.update(l1_line.data)
+        l2_line.dirty = True
+        l1_line.dirty = False
+
+    def _l1_ticks(self, extra_cycles: int = 0) -> int:
+        return self.clock.cycles_to_ticks(self.l1_latency_cycles
+                                          + extra_cycles)
+
+    # ------------------------------------------------------------------
+    # loads
+    # ------------------------------------------------------------------
+
+    def load(self, translation: Translation, callback: Callback) -> None:
+        """Issue one CPU load; *callback* fires when data is available."""
+        self._loads.increment()
+        now = self.queue.current_tick
+        if translation.ds_window and self.forward_enabled:
+            # window data: uncached read from the home
+            self._uncached.increment()
+            result = self.engine.uncached_load(
+                self.port.agent_name, translation.physical_address,
+                now + self._l1_ticks(translation.walk_cycles))
+            self.queue.schedule_at(result.ready_tick,
+                                   lambda: callback(result),
+                                   name=f"{self.name}.uncached")
+            return
+        t_l1 = now + self._l1_ticks(translation.walk_cycles)
+        line = self.l1d.lookup(translation.physical_address)
+        if line is not None:
+            word = None
+            if self.engine.image is not None and line.data is not None:
+                offset = self.engine.image.word_offset_in_line(
+                    translation.physical_address)
+                word = line.data.get(offset, 0)
+            result = AccessResult(t_l1, word, True, "local")
+            self.queue.schedule_at(t_l1, lambda: callback(result),
+                                   name=f"{self.name}.l1hit")
+            return
+
+        def _on_fill(result: AccessResult) -> None:
+            self._install_l1(translation.physical_address)
+            callback(result)
+
+        self.port.load(translation.physical_address, _on_fill)
+
+    def _install_l1(self, physical_address: int) -> None:
+        """Copy the (now-resident) L2 line up into the L1D."""
+        l2_line = self.port.engine.agents[self.port.agent_name].cache.probe(
+            physical_address)
+        if l2_line is None:
+            return  # evicted again already; skip the install
+        if self.l1d.probe(physical_address) is not None:
+            return
+        data = dict(l2_line.data) if l2_line.data is not None else None
+        self.l1d.fill(physical_address, "V", self.queue.current_tick, data)
+
+    # ------------------------------------------------------------------
+    # stores
+    # ------------------------------------------------------------------
+
+    def store(self, translation: Translation, value: Optional[int],
+              callback: Callback,
+              extra_words: Optional[List[Tuple[int, Optional[int]]]] = None,
+              on_accept: Optional[Callable[[], None]] = None) -> None:
+        """Drain one (possibly write-combined) store from the store buffer.
+
+        *extra_words* holds further same-line (virtual_address, value)
+        pairs the store buffer combined with this one.  *on_accept*
+        fires when the memory system takes ownership of the store (MSHR
+        slot, or the dedicated link finishes serialising the forward) —
+        the store buffer's drain slot frees then; *callback* fires when
+        the store is globally performed.
+        """
+        self._stores.increment(1 + len(extra_words or []))
+        now = self.queue.current_tick
+        if translation.direct_store and self.forward_enabled:
+            self._forwarded.increment(1 + len(extra_words or []))
+            line_address = translation.physical_address & ~(
+                self.engine.line_size - 1)
+            slice_name = self.slice_router(line_address)
+            # same line ⇒ same page: translate extras by offset
+            physical_extras = [
+                (translation.physical_address
+                 + (va - translation.virtual_address), word_value)
+                for va, word_value in (extra_words or [])]
+            result = self.engine.remote_store(
+                self.port.agent_name, slice_name,
+                translation.physical_address, value, now,
+                extra_words=physical_extras)
+            if on_accept is not None:
+                # the drain slot is held until the dedicated link has
+                # serialised the message (its backpressure point): the
+                # remote tag lookup + flight latency happen beyond it
+                dst_agent = self.engine.agents[slice_name]
+                accept_tick = max(now, result.ready_tick
+                                  - dst_agent.tag_ticks
+                                  - self._ds_latency_ticks())
+                self.queue.schedule_at(accept_tick, on_accept,
+                                       name=f"{self.name}.fwd_accept")
+            self.queue.schedule_at(result.ready_tick,
+                                   lambda: callback(result),
+                                   name=f"{self.name}.forward")
+            return
+        # write-back, write-allocate: a hit retires in the L1
+        t_l1 = now + self._l1_ticks(translation.walk_cycles)
+        physical_extras = [
+            (translation.physical_address
+             + (va - translation.virtual_address), word_value)
+            for va, word_value in (extra_words or [])]
+        line = self.l1d.lookup(translation.physical_address)
+        if line is not None:
+            self._write_l1_word(line, translation.physical_address, value)
+            for word_pa, word_value in physical_extras:
+                self._write_l1_word(line, word_pa, word_value)
+            result = AccessResult(t_l1, value, True, "local")
+            if on_accept is not None:
+                self.queue.schedule_at(t_l1, on_accept,
+                                       name=f"{self.name}.st_accept")
+            self.queue.schedule_at(t_l1, lambda: callback(result),
+                                   name=f"{self.name}.st_l1hit")
+            return
+
+        def _on_filled(result: AccessResult) -> None:
+            # the L2 now holds the line in MM with the first word written;
+            # merge the combined words, then allocate the L1 copy so
+            # subsequent stores hit locally
+            l2_line = self.engine.agents[self.port.agent_name].cache.probe(
+                translation.physical_address)
+            if l2_line is not None:
+                for word_pa, word_value in physical_extras:
+                    self.engine._write_word(l2_line, word_pa, word_value)
+            self._install_l1(translation.physical_address)
+            callback(result)
+
+        self.port.store(translation.physical_address, value, _on_filled,
+                        on_accept=on_accept)
+
+    def _ds_latency_ticks(self) -> int:
+        """Flight latency of the dedicated network, in ticks."""
+        if self.engine.ds_network is None:
+            return 0
+        return self.engine.ds_network.clock.cycles_to_ticks(
+            self.engine.ds_network.latency_cycles)
+
+    def _write_l1_word(self, line, physical_address: int,
+                       value: Optional[int]) -> None:
+        if self.engine.image is not None and value is not None:
+            offset = self.engine.image.word_offset_in_line(physical_address)
+            if line.data is None:
+                line.data = {}
+            line.data[offset] = value
+        line.dirty = True

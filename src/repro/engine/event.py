@@ -1,0 +1,102 @@
+"""Event and event-queue primitives.
+
+Every state change in the simulated machine happens inside an event
+callback.  Events fire in tick order; events scheduled for the same tick
+fire in scheduling order (a monotonic sequence number breaks ties), which
+makes whole-system runs bit-for-bit reproducible.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Callable, List, Optional, Tuple
+
+
+class Event:
+    """A callback scheduled to run at an absolute tick.
+
+    Attributes:
+        tick: absolute simulation time (picoseconds by convention).
+        callback: zero-argument callable invoked when the event fires.
+        name: optional label used in debug traces.
+    """
+
+    __slots__ = ("tick", "callback", "name", "cancelled", "_seq")
+
+    def __init__(self, tick: int, callback: Callable[[], None],
+                 name: str = "") -> None:
+        if tick < 0:
+            raise ValueError(f"event scheduled at negative tick {tick}")
+        self.tick = tick
+        self.callback = callback
+        self.name = name
+        self.cancelled = False
+        self._seq = -1  # assigned by the queue
+
+    def cancel(self) -> None:
+        """Mark the event dead; the queue discards it instead of firing it."""
+        self.cancelled = True
+
+    def __repr__(self) -> str:
+        label = self.name or getattr(self.callback, "__name__", "callback")
+        return f"Event(tick={self.tick}, {label})"
+
+
+class EventQueue:
+    """A deterministic priority queue of :class:`Event` objects."""
+
+    def __init__(self) -> None:
+        self._heap: List[Tuple[int, int, Event]] = []
+        self._sequence = itertools.count()
+        self.current_tick = 0
+
+    def schedule(self, event: Event) -> Event:
+        """Insert *event*; it must not be scheduled in the past."""
+        if event.tick < self.current_tick:
+            raise ValueError(
+                f"cannot schedule {event!r} in the past "
+                f"(now={self.current_tick})")
+        event._seq = next(self._sequence)
+        heapq.heappush(self._heap, (event.tick, event._seq, event))
+        return event
+
+    def schedule_at(self, tick: int, callback: Callable[[], None],
+                    name: str = "") -> Event:
+        """Convenience wrapper: build and schedule an event in one call."""
+        return self.schedule(Event(tick, callback, name))
+
+    def schedule_after(self, delay: int, callback: Callable[[], None],
+                       name: str = "") -> Event:
+        """Schedule *callback* to run *delay* ticks from now."""
+        if delay < 0:
+            raise ValueError(f"negative delay {delay}")
+        return self.schedule_at(self.current_tick + delay, callback, name)
+
+    def pop(self) -> Optional[Event]:
+        """Remove and return the next live event, advancing the clock.
+
+        Returns ``None`` when the queue is empty.  Cancelled events are
+        silently discarded.
+        """
+        while self._heap:
+            tick, _seq, event = heapq.heappop(self._heap)
+            if event.cancelled:
+                continue
+            self.current_tick = tick
+            return event
+        return None
+
+    def peek_tick(self) -> Optional[int]:
+        """Tick of the next live event, or ``None`` if the queue is empty."""
+        while self._heap and self._heap[0][2].cancelled:
+            heapq.heappop(self._heap)
+        if not self._heap:
+            return None
+        return self._heap[0][0]
+
+    def __len__(self) -> int:
+        return sum(1 for _, _, event in self._heap if not event.cancelled)
+
+    def __bool__(self) -> bool:
+        return self.peek_tick() is not None

@@ -1,0 +1,66 @@
+"""The simulation run loop."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.engine.event import EventQueue
+
+
+class SimulationLimitError(RuntimeError):
+    """Raised when a run exceeds its event or tick budget.
+
+    A budget overrun almost always means a component deadlocked and is
+    rescheduling itself forever, so we fail loudly instead of spinning.
+    """
+
+
+class Simulator:
+    """Drives an :class:`~repro.engine.event.EventQueue` to exhaustion.
+
+    The simulator is intentionally minimal: components schedule events
+    against :attr:`queue`; :meth:`run` fires them in order until the queue
+    drains or a budget trips.
+    """
+
+    def __init__(self, max_events: int = 200_000_000,
+                 max_ticks: Optional[int] = None) -> None:
+        self.queue = EventQueue()
+        self.max_events = max_events
+        self.max_ticks = max_ticks
+        self.events_fired = 0
+
+    @property
+    def now(self) -> int:
+        """Current simulation tick."""
+        return self.queue.current_tick
+
+    def run(self) -> int:
+        """Fire events until the queue is empty; return the final tick."""
+        while True:
+            event = self.queue.pop()
+            if event is None:
+                return self.queue.current_tick
+            if self.max_ticks is not None and event.tick > self.max_ticks:
+                raise SimulationLimitError(
+                    f"tick budget exceeded: {event.tick} > {self.max_ticks}")
+            self.events_fired += 1
+            if self.events_fired > self.max_events:
+                raise SimulationLimitError(
+                    f"event budget exceeded ({self.max_events}); "
+                    "likely a scheduling livelock")
+            event.callback()
+
+    def run_until(self, tick: int) -> int:
+        """Fire events up to and including *tick*; return the current tick."""
+        while True:
+            next_tick = self.queue.peek_tick()
+            if next_tick is None or next_tick > tick:
+                return self.queue.current_tick
+            event = self.queue.pop()
+            assert event is not None
+            self.events_fired += 1
+            if self.events_fired > self.max_events:
+                raise SimulationLimitError(
+                    f"event budget exceeded ({self.max_events})")
+            event.callback()

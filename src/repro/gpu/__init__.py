@@ -1,0 +1,16 @@
+"""The GPU model: Fermi-like SMs over a sliced, coherent L2.
+
+Table I configuration: 16 SMs with 32 lanes at 1.4 GHz, each with a
+16 KiB 4-way L1 (plus 48 KiB software-managed shared memory), and a
+2 MiB 16-way L2 in 4 address-interleaved slices shared by all SMs.
+
+Coherence conventions follow the paper's baseline: GPU L1s are *not*
+hardware-coherent — they are write-through and flash-invalidated at
+every kernel launch; the L2 slices are full Hammer agents.
+"""
+
+from repro.gpu.coalescer import Coalescer
+from repro.gpu.gpu import GpuDevice
+from repro.gpu.sm import StreamingMultiprocessor
+
+__all__ = ["Coalescer", "GpuDevice", "StreamingMultiprocessor"]

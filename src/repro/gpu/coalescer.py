@@ -1,0 +1,50 @@
+"""The memory coalescing unit.
+
+A warp-wide memory instruction presents up to 32 lane addresses; the
+coalescer merges them into the minimal set of line-sized transactions.
+A fully-coalesced access to consecutive 4-byte words touches exactly one
+128-byte line; a strided or irregular access fans out into many — the
+classic GPU memory-divergence effect, which the Pannotia graph workloads
+exercise heavily.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from repro.utils.statistics import StatsRegistry
+
+
+class Coalescer:
+    """Merges lane addresses into per-line transactions."""
+
+    def __init__(self, name: str, line_size: int = 128) -> None:
+        self.name = name
+        self.line_size = line_size
+        self.stats = StatsRegistry(name)
+        self._instructions = self.stats.counter("instructions")
+        self._transactions = self.stats.counter("transactions")
+        self._fanout = self.stats.histogram(
+            "transactions_per_instruction", [1, 2, 4, 8, 16, 32])
+
+    def coalesce(self, lane_addresses: Sequence[int]) -> List[int]:
+        """Distinct line addresses touched, in first-lane order."""
+        if not lane_addresses:
+            return []
+        seen = set()
+        lines: List[int] = []
+        for address in lane_addresses:
+            line = address & ~(self.line_size - 1)
+            if line not in seen:
+                seen.add(line)
+                lines.append(line)
+        self._instructions.increment()
+        self._transactions.increment(len(lines))
+        self._fanout.record(len(lines))
+        return lines
+
+    @property
+    def average_fanout(self) -> float:
+        if self._instructions.value == 0:
+            return 0.0
+        return self._transactions.value / self._instructions.value

@@ -1,0 +1,285 @@
+"""A streaming multiprocessor with warp-level latency hiding.
+
+Each SM holds the warps assigned to it for the current kernel and issues
+one warp-op per SM cycle among the *ready* warps (loose round-robin, the
+GTO-less default of GPGPU-Sim).  A warp blocks while any of its load
+transactions is outstanding; other warps keep issuing — with enough
+resident warps, memory latency disappears from the bottom line, and when
+parallelism runs out (the paper's big-input BP/HT/LU/NW/FW discussion)
+it shows up in full.
+
+Memory path per coalesced line: GPU L1 (write-through, no-allocate on
+store) → the owning L2 slice's coherent port.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.coherence.hammer import AccessResult
+from repro.coherence.port import CoherentPort
+from repro.engine.clock import ClockDomain
+from repro.engine.event import EventQueue
+from repro.gpu.coalescer import Coalescer
+from repro.mem.cache import SetAssociativeCache
+from repro.utils.statistics import StatsRegistry
+from repro.vm.mmu import MMU
+from repro.workloads.trace import OpKind, WarpOp, WarpProgram
+
+SliceRouter = Callable[[int], str]
+
+
+class _Warp:
+    """Execution state of one resident warp."""
+
+    __slots__ = ("ops", "pc", "ready_tick", "pending_loads", "done")
+
+    def __init__(self, program: WarpProgram) -> None:
+        self.ops: List[WarpOp] = program.ops
+        self.pc = 0
+        self.ready_tick = 0
+        self.pending_loads = 0
+        self.done = not self.ops
+
+
+class StreamingMultiprocessor:
+    """One SM: warp scheduler + L1 + shared-memory pipe."""
+
+    def __init__(self, name: str, queue: EventQueue, clock: ClockDomain,
+                 l1: SetAssociativeCache, mmu: MMU,
+                 slice_ports: Dict[str, CoherentPort],
+                 slice_router: SliceRouter,
+                 l1_latency_cycles: int = 28,
+                 shmem_latency_cycles: int = 2,
+                 record_loads: bool = False,
+                 prefetcher=None) -> None:
+        self.name = name
+        self.queue = queue
+        self.clock = clock
+        self.l1 = l1
+        self.mmu = mmu
+        self.slice_ports = slice_ports
+        self.slice_router = slice_router
+        self.l1_latency_cycles = l1_latency_cycles
+        self.shmem_latency_cycles = shmem_latency_cycles
+        self.coalescer = Coalescer(f"{name}.coalescer", l1.line_size)
+        self.record_loads = record_loads
+        #: optional NextLinePrefetcher consulted on every L1 load miss
+        self.prefetcher = prefetcher
+        #: (virtual_address, value) pairs observed by loads, for oracles
+        self.loaded_values: List[Tuple[int, Optional[int]]] = []
+        self.stats = StatsRegistry(name)
+        self._issued = self.stats.counter("warp_ops_issued")
+        self._load_latency = self.stats.histogram(
+            "load_latency_ticks", [1000, 5000, 20000, 100000, 500000])
+        # run state
+        self._warps: List[_Warp] = []
+        self._rr_index = 0
+        self._next_issue_tick = 0
+        self._issue_scheduled = False
+        self._outstanding_stores = 0
+        self._on_done: Optional[Callable[[int], None]] = None
+        self._active = False
+
+    # ------------------------------------------------------------------
+
+    def launch(self, programs: List[WarpProgram],
+               on_done: Callable[[int], None]) -> None:
+        """Begin executing *programs*; flash-invalidates the L1 first."""
+        if self._active:
+            raise RuntimeError(f"{self.name}: kernel already active")
+        self.l1.flash_invalidate()
+        self._warps = [_Warp(program) for program in programs]
+        self._rr_index = 0
+        self._on_done = on_done
+        self._active = True
+        if all(warp.done for warp in self._warps):
+            self.queue.schedule_after(0, self._maybe_finish,
+                                      name=f"{self.name}.empty")
+            return
+        self._schedule_issue()
+
+    @property
+    def warps_resident(self) -> int:
+        return len(self._warps)
+
+    # ------------------------------------------------------------------
+    # scheduler
+    # ------------------------------------------------------------------
+
+    def _ready_warps_exist(self) -> bool:
+        return any(not warp.done and warp.pending_loads == 0
+                   for warp in self._warps)
+
+    def _schedule_issue(self) -> None:
+        if self._issue_scheduled or not self._active:
+            return
+        candidates = [warp.ready_tick for warp in self._warps
+                      if not warp.done and warp.pending_loads == 0]
+        if not candidates:
+            return  # everyone blocked on memory; returns will re-schedule
+        target = max(self._next_issue_tick, min(candidates),
+                     self.queue.current_tick)
+        self._issue_scheduled = True
+        self.queue.schedule_at(target, self._issue,
+                               name=f"{self.name}.issue")
+
+    def _issue(self) -> None:
+        self._issue_scheduled = False
+        if not self._active:
+            return
+        now = self.queue.current_tick
+        warp = self._pick_warp(now)
+        if warp is None:
+            self._schedule_issue()
+            return
+        op = warp.ops[warp.pc]
+        warp.pc += 1
+        if warp.pc >= len(warp.ops):
+            warp.done = True
+        self._issued.increment()
+        self._next_issue_tick = now + self.clock.cycles_to_ticks(1)
+        self._execute(warp, op, now)
+        if warp.done and warp.pending_loads == 0:
+            self._maybe_finish()
+        self._schedule_issue()
+
+    def _pick_warp(self, now: int) -> Optional[_Warp]:
+        """Loose round-robin over warps ready to issue right now."""
+        count = len(self._warps)
+        for step in range(count):
+            warp = self._warps[(self._rr_index + step) % count]
+            if (not warp.done and warp.pending_loads == 0
+                    and warp.ready_tick <= now):
+                self._rr_index = (self._rr_index + step + 1) % count
+                return warp
+        return None
+
+    # ------------------------------------------------------------------
+    # op execution
+    # ------------------------------------------------------------------
+
+    def _execute(self, warp: _Warp, op: WarpOp, now: int) -> None:
+        if op.kind is OpKind.COMPUTE:
+            warp.ready_tick = now + self.clock.cycles_to_ticks(
+                max(1, op.cycles))
+            return
+        if op.kind is OpKind.SHMEM:
+            # scratchpad work: fixed-latency pipe, no cache traffic
+            cycles = max(1, op.cycles) * self.shmem_latency_cycles
+            warp.ready_tick = now + self.clock.cycles_to_ticks(cycles)
+            return
+        if op.kind is OpKind.LOAD:
+            self._execute_load(warp, op, now)
+            return
+        if op.kind is OpKind.STORE:
+            self._execute_store(warp, op, now)
+            return
+        raise ValueError(f"{self.name}: warp op {op.kind} not executable")
+
+    def _execute_load(self, warp: _Warp, op: WarpOp, now: int) -> None:
+        l1_ticks = self.clock.cycles_to_ticks(self.l1_latency_cycles)
+        warp.ready_tick = now + l1_ticks
+        issue_tick = now
+        for line_va in self.coalescer.coalesce(op.addresses):
+            translation = self.mmu.translate(line_va, is_store=False)
+            line = self.l1.lookup(translation.physical_address)
+            if line is not None:
+                if self.record_loads:
+                    self._record_line_values(op, line_va, line.data)
+                continue
+            warp.pending_loads += 1
+            if self.prefetcher is not None:
+                self.prefetcher.on_demand_miss(
+                    translation.physical_address, now)
+            port = self.slice_ports[self.slice_router(
+                translation.physical_address)]
+
+            def _on_fill(result: AccessResult, line_va: int = line_va,
+                         pa: int = translation.physical_address) -> None:
+                self._install_l1(pa)
+                if self.record_loads:
+                    resident = self.l1.probe(pa)
+                    self._record_line_values(
+                        op, line_va,
+                        resident.data if resident is not None else None)
+                self._load_latency.record(
+                    self.queue.current_tick - issue_tick)
+                warp.pending_loads -= 1
+                if warp.pending_loads == 0:
+                    warp.ready_tick = max(warp.ready_tick,
+                                          self.queue.current_tick)
+                    if warp.done:
+                        self._maybe_finish()
+                    else:
+                        self._schedule_issue()
+
+            port.load(translation.physical_address, _on_fill)
+
+    def _execute_store(self, warp: _Warp, op: WarpOp, now: int) -> None:
+        # stores don't block the warp; the kernel drains them at the end
+        warp.ready_tick = now + self.clock.cycles_to_ticks(1)
+        for line_va in self.coalescer.coalesce(op.addresses):
+            translation = self.mmu.translate(line_va, is_store=True)
+            pa = translation.physical_address
+            # write-through, no-allocate: update an existing L1 copy only
+            resident = self.l1.probe(pa)
+            if resident is not None and op.value is not None:
+                if resident.data is None:
+                    resident.data = {}
+                # warp stores cover the whole coalesced line
+                for offset in range(self.l1.line_size // 4):
+                    resident.data[offset] = op.value
+            port = self.slice_ports[self.slice_router(pa)]
+            self._outstanding_stores += 1
+
+            def _on_store_done(_result: AccessResult) -> None:
+                self._outstanding_stores -= 1
+                self._maybe_finish()
+
+            self._store_line(port, pa, op.value, _on_store_done)
+
+    def _store_line(self, port: CoherentPort, line_pa: int,
+                    value: Optional[int],
+                    callback: Callable[[AccessResult], None]) -> None:
+        """A warp store writes the full coalesced line at the L2."""
+        port.store(line_pa, value, callback)
+
+    def _install_l1(self, physical_address: int) -> None:
+        """Copy the slice-resident line up into the SM's L1."""
+        if self.l1.probe(physical_address) is not None:
+            return
+        slice_name = self.slice_router(physical_address)
+        l2_line = self.slice_ports[slice_name].engine.agents[
+            slice_name].cache.probe(physical_address)
+        data = None
+        if l2_line is not None and l2_line.data is not None:
+            data = dict(l2_line.data)
+        self.l1.fill(physical_address, "V", self.queue.current_tick, data)
+
+    def _record_line_values(self, op: WarpOp, line_va: int,
+                            data: Optional[dict]) -> None:
+        line_mask = ~(self.l1.line_size - 1)
+        for lane_va in op.addresses:
+            if (lane_va & line_mask) != line_va:
+                continue
+            value = None
+            if data is not None:
+                value = data.get((lane_va % self.l1.line_size) // 4, 0)
+            self.loaded_values.append((lane_va, value))
+
+    # ------------------------------------------------------------------
+
+    def _maybe_finish(self) -> None:
+        if not self._active:
+            return
+        if self._outstanding_stores > 0:
+            return
+        if any(not warp.done or warp.pending_loads > 0
+               for warp in self._warps):
+            return
+        self._active = False
+        on_done = self._on_done
+        self._on_done = None
+        assert on_done is not None
+        on_done(self.queue.current_tick)

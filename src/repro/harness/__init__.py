@@ -1,0 +1,29 @@
+"""Experiment harness: runners, figure/table reproduction, reporting."""
+
+from repro.harness.reporting import ascii_bar_chart, format_table
+from repro.harness.runner import BenchmarkComparison, compare_modes, run_benchmark
+from repro.harness.experiments import (
+    Fig4Row,
+    Fig5Row,
+    figure4,
+    figure5,
+    geomean_nonzero_speedup,
+)
+from repro.harness.persist import load_results, save_comparisons
+from repro.harness.sweep import sweep_config
+
+__all__ = [
+    "ascii_bar_chart",
+    "format_table",
+    "BenchmarkComparison",
+    "compare_modes",
+    "run_benchmark",
+    "Fig4Row",
+    "Fig5Row",
+    "figure4",
+    "figure5",
+    "geomean_nonzero_speedup",
+    "sweep_config",
+    "load_results",
+    "save_comparisons",
+]

@@ -1,0 +1,41 @@
+"""Plain-text reporting: aligned tables and ASCII bar charts."""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence, Tuple
+
+
+def format_table(headers: Sequence[str],
+                 rows: Iterable[Sequence[object]]) -> str:
+    """Render an aligned monospace table."""
+    rendered: List[List[str]] = [[str(cell) for cell in row]
+                                 for row in rows]
+    widths = [len(header) for header in headers]
+    for row in rendered:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+    lines = [
+        "  ".join(header.ljust(widths[index])
+                  for index, header in enumerate(headers)),
+        "  ".join("-" * width for width in widths),
+    ]
+    for row in rendered:
+        lines.append("  ".join(cell.ljust(widths[index])
+                               for index, cell in enumerate(row)))
+    return "\n".join(lines)
+
+
+def ascii_bar_chart(items: Iterable[Tuple[str, float]], width: int = 50,
+                    unit: str = "") -> str:
+    """Render labelled horizontal bars (the Fig. 4 / Fig. 5 look)."""
+    items = list(items)
+    if not items:
+        return "(no data)"
+    peak = max(value for _label, value in items) or 1.0
+    label_width = max(len(label) for label, _value in items)
+    lines = []
+    for label, value in items:
+        bar = "#" * max(0, round(width * value / peak))
+        lines.append(f"{label.ljust(label_width)} |{bar} "
+                     f"{value:.3g}{unit}")
+    return "\n".join(lines)

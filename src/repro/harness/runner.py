@@ -1,0 +1,75 @@
+"""Benchmark runners: one (workload, mode) point, or a mode comparison."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from repro.core.config import SystemConfig
+from repro.core.metrics import RunResult
+from repro.core.protocol_mode import CoherenceMode
+from repro.core.system import IntegratedSystem
+from repro.workloads.suite import get_workload
+
+
+def run_benchmark(code: str, input_size: str, mode: CoherenceMode,
+                  config: Optional[SystemConfig] = None) -> RunResult:
+    """Run one Table II benchmark once under *mode* and return metrics.
+
+    A fresh :class:`IntegratedSystem` is built per call (systems are
+    single-use); value tracking defaults off for speed — benchmark
+    correctness is covered by the test suite.
+    """
+    config = config or SystemConfig(track_values=False)
+    system = IntegratedSystem(config, mode)
+    return system.run(get_workload(code, input_size))
+
+
+@dataclass
+class BenchmarkComparison:
+    """CCSM-vs-direct-store results for one benchmark."""
+
+    code: str
+    input_size: str
+    ccsm: RunResult
+    direct_store: RunResult
+
+    @property
+    def speedup(self) -> float:
+        """Fig. 4's metric: CCSM ticks / direct-store ticks."""
+        return self.direct_store.speedup_over(self.ccsm)
+
+    @property
+    def speedup_percent(self) -> float:
+        return (self.speedup - 1.0) * 100.0
+
+    @property
+    def ccsm_miss_rate(self) -> float:
+        return self.ccsm.gpu_l2_miss_rate
+
+    @property
+    def ds_miss_rate(self) -> float:
+        return self.direct_store.gpu_l2_miss_rate
+
+
+def compare_modes(code: str, input_size: str,
+                  config: Optional[SystemConfig] = None,
+                  ds_mode: CoherenceMode = CoherenceMode.DIRECT_STORE,
+                  ) -> BenchmarkComparison:
+    """Run one benchmark under CCSM and under direct store."""
+    base_config = config or SystemConfig(track_values=False)
+    return BenchmarkComparison(
+        code=code.upper(),
+        input_size=input_size,
+        ccsm=run_benchmark(code, input_size, CoherenceMode.CCSM,
+                           base_config),
+        direct_store=run_benchmark(code, input_size, ds_mode, base_config),
+    )
+
+
+def compare_all_modes(code: str, input_size: str,
+                      config: Optional[SystemConfig] = None,
+                      ) -> Dict[CoherenceMode, RunResult]:
+    """Run one benchmark under every coherence mode."""
+    return {mode: run_benchmark(code, input_size, mode, config)
+            for mode in CoherenceMode}

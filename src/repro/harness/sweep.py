@@ -1,0 +1,44 @@
+"""Parameter sweeps for ablation studies."""
+
+from __future__ import annotations
+
+import copy
+from dataclasses import dataclass
+from typing import Callable, Iterable, List
+
+from repro.core.config import SystemConfig
+from repro.core.protocol_mode import CoherenceMode
+from repro.harness.runner import BenchmarkComparison, compare_modes
+
+
+@dataclass
+class SweepPoint:
+    """One configuration point of an ablation sweep."""
+
+    label: str
+    value: object
+    comparison: BenchmarkComparison
+
+    @property
+    def speedup(self) -> float:
+        return self.comparison.speedup
+
+
+def sweep_config(code: str, input_size: str, values: Iterable[object],
+                 apply: Callable[[SystemConfig, object], None],
+                 label: str = "value",
+                 ds_mode: CoherenceMode = CoherenceMode.DIRECT_STORE,
+                 ) -> List[SweepPoint]:
+    """Re-run a CCSM-vs-DS comparison across configuration *values*.
+
+    *apply(config, value)* mutates a fresh deep-copied config for each
+    point, e.g. ``lambda cfg, v: setattr(cfg.network, "ds_latency_cycles", v)``.
+    """
+    points = []
+    for value in values:
+        config = copy.deepcopy(SystemConfig(track_values=False))
+        apply(config, value)
+        comparison = compare_modes(code, input_size, config,
+                                   ds_mode=ds_mode)
+        points.append(SweepPoint(f"{label}={value}", value, comparison))
+    return points

@@ -1,0 +1,29 @@
+"""On-chip interconnect models.
+
+Two networks exist in the simulated system (paper Fig. 2, right):
+
+* the conventional coherence interconnect — a crossbar joining the CPU
+  cache hierarchy, the GPU L2 slices, and the memory controller
+  (:class:`~repro.interconnect.network.Crossbar`); and
+* the *dedicated direct-store network* connecting the CPU L1 controller
+  straight to the GPU L2 slices
+  (:class:`~repro.interconnect.direct_network.DirectStoreNetwork`), the
+  dotted line in Fig. 2.
+
+Both are latency + bandwidth models: ``send`` returns the arrival tick
+and holds link occupancy so back-to-back messages serialize.
+"""
+
+from repro.interconnect.direct_network import DirectStoreNetwork
+from repro.interconnect.link import Link
+from repro.interconnect.message import MessageClass, NetworkMessage
+from repro.interconnect.network import Crossbar, Network
+
+__all__ = [
+    "DirectStoreNetwork",
+    "Link",
+    "MessageClass",
+    "NetworkMessage",
+    "Crossbar",
+    "Network",
+]

@@ -1,0 +1,232 @@
+"""A generic set-associative cache array.
+
+This is the tag/data store only — *no* protocol logic.  Coherence
+controllers own a ``SetAssociativeCache`` and decide what states to put in
+its lines; private GPU L1s use it directly with a boolean-ish state.
+
+The array tracks the statistics the paper's evaluation needs: demand
+accesses, hits, misses, and *compulsory* misses (first-ever touch of a
+line address), because §IV specifically measures the compulsory-miss
+reduction of direct store.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Set, Tuple
+
+from repro.mem.address import AddressLayout
+from repro.mem.cacheline import CacheLine
+from repro.mem.replacement import ReplacementPolicy, make_replacement_policy
+from repro.utils.statistics import StatsRegistry
+
+
+class SetAssociativeCache:
+    """Tag/data array with pluggable replacement.
+
+    Args:
+        name: instance name for statistics (e.g. ``"gpu.l2.slice0"``).
+        size_bytes: total capacity.
+        ways: associativity.
+        line_size: block size in bytes (128 throughout the paper).
+        replacement: policy name accepted by
+            :func:`~repro.mem.replacement.make_replacement_policy`.
+    """
+
+    def __init__(self, name: str, size_bytes: int, ways: int,
+                 line_size: int = 128, replacement: str = "lru",
+                 interleave: int = 1, interleave_offset: int = 0) -> None:
+        if size_bytes % (ways * line_size) != 0:
+            raise ValueError(
+                f"{name}: size {size_bytes} not divisible by "
+                f"ways*line ({ways}*{line_size})")
+        self.name = name
+        self.size_bytes = size_bytes
+        self.ways = ways
+        self.line_size = line_size
+        num_sets = size_bytes // (ways * line_size)
+        self.layout = AddressLayout(line_size, num_sets, interleave,
+                                    interleave_offset)
+        self.num_sets = num_sets
+        self._sets: List[List[CacheLine]] = [
+            [CacheLine() for _ in range(ways)] for _ in range(num_sets)]
+        self.policy: ReplacementPolicy = make_replacement_policy(
+            replacement, num_sets, ways)
+        #: optional hook fired with (line_address, line) just before a
+        #: valid line is evicted by a fill — an upper cache level uses it
+        #: to flush newer (dirtier) data down before the copy is taken
+        self.pre_victim: Optional[Callable[[int, CacheLine], None]] = None
+        self.stats = StatsRegistry(name)
+        self._accesses = self.stats.counter("accesses", "demand accesses")
+        self._hits = self.stats.counter("hits", "demand hits")
+        self._misses = self.stats.counter("misses", "demand misses")
+        self._compulsory = self.stats.counter(
+            "compulsory_misses", "first-touch (cold) misses")
+        self._evictions = self.stats.counter("evictions", "lines evicted")
+        self._writebacks = self.stats.counter(
+            "writebacks", "dirty lines evicted")
+        #: line addresses ever resident — classifies compulsory misses
+        self._touched: Set[int] = set()
+
+    # ------------------------------------------------------------------
+    # lookups
+    # ------------------------------------------------------------------
+
+    def probe(self, address: int) -> Optional[CacheLine]:
+        """Tag match with **no** side effects (no stats, no recency)."""
+        set_index = self.layout.set_index(address)
+        tag = self.layout.tag(address)
+        for line in self._sets[set_index]:
+            if line.valid and line.tag == tag:
+                return line
+        return None
+
+    def has_free_way(self, address: int) -> bool:
+        """Would a fill of *address* avoid evicting a valid line?"""
+        set_index = self.layout.set_index(address)
+        return any(not line.valid for line in self._sets[set_index])
+
+    def lookup(self, address: int, record_stats: bool = True
+               ) -> Optional[CacheLine]:
+        """Demand access: updates recency and hit/miss statistics.
+
+        Returns the hit line, or ``None`` on a miss (the caller then
+        issues a fill).  A miss on a never-before-seen line address is
+        counted as compulsory.
+        """
+        set_index = self.layout.set_index(address)
+        tag = self.layout.tag(address)
+        if record_stats:
+            self._accesses.increment()
+        for way, line in enumerate(self._sets[set_index]):
+            if line.valid and line.tag == tag:
+                self.policy.on_access(set_index, way)
+                if record_stats:
+                    self._hits.increment()
+                return line
+        if record_stats:
+            self._misses.increment()
+            line_addr = self.layout.line_address(address)
+            if line_addr not in self._touched:
+                self._compulsory.increment()
+        return None
+
+    # ------------------------------------------------------------------
+    # fills / evictions
+    # ------------------------------------------------------------------
+
+    def fill(self, address: int, state: object, tick: int,
+             data: Optional[Dict[int, int]] = None, dirty: bool = False,
+             ) -> Optional[Tuple[int, CacheLine]]:
+        """Install the line containing *address*.
+
+        Returns ``(victim_line_address, victim_copy)`` when a valid line
+        had to be evicted, else ``None``.  The victim copy preserves
+        state/dirty/data so the controller can write it back.
+        """
+        set_index = self.layout.set_index(address)
+        tag = self.layout.tag(address)
+        line_addr = self.layout.line_address(address)
+        cache_set = self._sets[set_index]
+
+        victim: Optional[Tuple[int, CacheLine]] = None
+        target_way: Optional[int] = None
+        for way, line in enumerate(cache_set):
+            if line.valid and line.tag == tag:
+                raise ValueError(
+                    f"{self.name}: double fill of line {line_addr:#x}")
+            if not line.valid and target_way is None:
+                target_way = way
+        if target_way is None:
+            target_way = self.policy.victim_way(set_index)
+            old = cache_set[target_way]
+            victim_addr = self.layout.rebuild(old.tag, set_index)
+            if self.pre_victim is not None:
+                self.pre_victim(victim_addr, old)
+            victim_copy = CacheLine()
+            victim_copy.fill(old.tag, old.state, old.fill_tick,
+                             old.data, old.dirty)
+            victim = (victim_addr, victim_copy)
+            self._evictions.increment()
+            if old.dirty:
+                self._writebacks.increment()
+
+        cache_set[target_way].fill(tag, state, tick, data, dirty)
+        self.policy.on_fill(set_index, target_way)
+        self._touched.add(line_addr)
+        return victim
+
+    def invalidate(self, address: int) -> Optional[CacheLine]:
+        """Drop the line containing *address*; return a copy, or ``None``."""
+        set_index = self.layout.set_index(address)
+        tag = self.layout.tag(address)
+        for way, line in enumerate(self._sets[set_index]):
+            if line.valid and line.tag == tag:
+                copy = CacheLine()
+                copy.fill(line.tag, line.state, line.fill_tick,
+                          line.data, line.dirty)
+                line.invalidate()
+                self.policy.on_invalidate(set_index, way)
+                return copy
+        return None
+
+    def flash_invalidate(self) -> int:
+        """Invalidate every line (GPU L1 at kernel launch); return count."""
+        count = 0
+        for set_index, cache_set in enumerate(self._sets):
+            for way, line in enumerate(cache_set):
+                if line.valid:
+                    line.invalidate()
+                    self.policy.on_invalidate(set_index, way)
+                    count += 1
+        return count
+
+    # ------------------------------------------------------------------
+    # introspection
+    # ------------------------------------------------------------------
+
+    def resident_lines(self) -> List[Tuple[int, CacheLine]]:
+        """All (line_address, line) pairs currently valid."""
+        out = []
+        for set_index, cache_set in enumerate(self._sets):
+            for line in cache_set:
+                if line.valid:
+                    out.append((self.layout.rebuild(line.tag, set_index),
+                                line))
+        return out
+
+    def occupancy(self) -> int:
+        """Number of valid lines."""
+        return sum(1 for _, _line in self.resident_lines())
+
+    def for_each_line(self, visit: Callable[[int, CacheLine], None]) -> None:
+        """Apply *visit(line_address, line)* to every valid line."""
+        for line_addr, line in self.resident_lines():
+            visit(line_addr, line)
+
+    @property
+    def accesses(self) -> int:
+        return self._accesses.value
+
+    @property
+    def hits(self) -> int:
+        return self._hits.value
+
+    @property
+    def misses(self) -> int:
+        return self._misses.value
+
+    @property
+    def compulsory_misses(self) -> int:
+        return self._compulsory.value
+
+    @property
+    def miss_rate(self) -> float:
+        """Demand miss rate; 0.0 when the cache saw no accesses."""
+        if self._accesses.value == 0:
+            return 0.0
+        return self._misses.value / self._accesses.value
+
+    def __repr__(self) -> str:
+        kib = self.size_bytes // 1024
+        return (f"SetAssociativeCache({self.name}, {kib}KiB, "
+                f"{self.ways}-way, {self.line_size}B lines)")

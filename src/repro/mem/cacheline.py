@@ -1,0 +1,62 @@
+"""Cache line (block) state.
+
+A line carries its tag, a protocol-defined *state* (the coherence layer
+stores :class:`~repro.coherence.states.HammerState` values here; private
+GPU L1s use simple valid/invalid), a dirty bit, and an optional data
+payload used by the value-tracking correctness oracle.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+
+class CacheLine:
+    """One cache block within a set."""
+
+    __slots__ = ("tag", "state", "dirty", "data", "fill_tick", "valid")
+
+    def __init__(self) -> None:
+        self.valid = False
+        self.tag = 0
+        self.state: object = None
+        self.dirty = False
+        #: optional payload: {word_offset: value}; ``None`` when value
+        #: tracking is disabled for speed.
+        self.data: Optional[Dict[int, int]] = None
+        self.fill_tick = 0
+
+    def fill(self, tag: int, state: object, tick: int,
+             data: Optional[Dict[int, int]] = None, dirty: bool = False) -> None:
+        """Install a new block in this line."""
+        self.valid = True
+        self.tag = tag
+        self.state = state
+        self.dirty = dirty
+        self.data = data
+        self.fill_tick = tick
+
+    def invalidate(self) -> None:
+        """Drop the block (state bookkeeping is the caller's job)."""
+        self.valid = False
+        self.state = None
+        self.dirty = False
+        self.data = None
+
+    def write_word(self, word_offset: int, value: int) -> None:
+        """Update one word of the payload (no-op when untracked)."""
+        if self.data is not None:
+            self.data[word_offset] = value
+        self.dirty = True
+
+    def read_word(self, word_offset: int) -> Optional[int]:
+        """Read one word of the payload; ``None`` when untracked/missing."""
+        if self.data is None:
+            return None
+        return self.data.get(word_offset)
+
+    def __repr__(self) -> str:
+        if not self.valid:
+            return "CacheLine(invalid)"
+        return (f"CacheLine(tag={self.tag:#x}, state={self.state}, "
+                f"dirty={self.dirty})")

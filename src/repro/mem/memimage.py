@@ -1,0 +1,66 @@
+"""The functional memory image.
+
+Architectural memory state, separate from all timing models.  The
+coherence engine reads line payloads from here on fills-from-memory and
+writes them back on dirty evictions.  Tests use it as the ground-truth
+oracle: a GPU load must observe the last value the CPU stored, no matter
+which protocol moved the line around.
+
+Word granularity is 4 bytes; a cache line's payload is the dict of its
+word offsets.  Tracking can be disabled (``track_values=False`` on the
+system) for large benchmark runs, in which case this class is never
+consulted.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+#: Functional word size in bytes.
+WORD_SIZE = 4
+
+
+class MemoryImage:
+    """Sparse word-addressable memory contents."""
+
+    def __init__(self, line_size: int = 128) -> None:
+        self.line_size = line_size
+        self.words_per_line = line_size // WORD_SIZE
+        self._words: Dict[int, int] = {}
+
+    @staticmethod
+    def word_index(address: int) -> int:
+        """Global word index containing byte *address*."""
+        return address // WORD_SIZE
+
+    def write_word(self, address: int, value: int) -> None:
+        """Store *value* at the word containing *address*."""
+        self._words[self.word_index(address)] = value
+
+    def read_word(self, address: int, default: int = 0) -> int:
+        """Load the word containing *address* (unwritten words read 0)."""
+        return self._words.get(self.word_index(address), default)
+
+    def read_line(self, line_address: int) -> Dict[int, int]:
+        """Payload dict ``{word_offset_within_line: value}`` for a line."""
+        base = self.word_index(line_address)
+        payload: Dict[int, int] = {}
+        for offset in range(self.words_per_line):
+            value = self._words.get(base + offset)
+            if value is not None:
+                payload[offset] = value
+        return payload
+
+    def write_line(self, line_address: int,
+                   payload: Dict[int, int]) -> None:
+        """Write a whole line payload back to memory."""
+        base = self.word_index(line_address)
+        for offset, value in payload.items():
+            self._words[base + offset] = value
+
+    def word_offset_in_line(self, address: int) -> int:
+        """Word offset of *address* within its line."""
+        return (address % self.line_size) // WORD_SIZE
+
+    def __len__(self) -> int:
+        return len(self._words)

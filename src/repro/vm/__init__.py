@@ -1,0 +1,45 @@
+"""Virtual memory: page tables, mmap allocation, TLB, and MMU.
+
+This package implements the OS- and hardware-side support the paper's
+direct store scheme depends on:
+
+* §III-D *Special Memory Allocation* — :class:`~repro.vm.mmap.MmapAllocator`
+  reserves a high-order virtual-address window (``MAP_FIXED``) for data
+  homed on the GPU;
+* §III-E *Translation Look-aside Buffer* —
+  :class:`~repro.vm.tlb.TLB` adds the high-order address comparator that
+  signals the MMU to forward stores to the GPU L2;
+* :class:`~repro.vm.mmu.MMU` ties the TLB to a demand-paged
+  :class:`~repro.vm.pagetable.PageTable`.
+"""
+
+from repro.vm.mmap import (
+    DIRECT_STORE_WINDOW_BASE,
+    DIRECT_STORE_WINDOW_SIZE,
+    MAP_FIXED,
+    MmapAllocator,
+    MmapError,
+)
+from repro.vm.mmu import MMU, Translation
+from repro.vm.pagetable import (
+    PAGE_SIZE,
+    PageFaultError,
+    PageTable,
+    PhysicalFrameAllocator,
+)
+from repro.vm.tlb import TLB
+
+__all__ = [
+    "DIRECT_STORE_WINDOW_BASE",
+    "DIRECT_STORE_WINDOW_SIZE",
+    "MAP_FIXED",
+    "MmapAllocator",
+    "MmapError",
+    "MMU",
+    "Translation",
+    "PAGE_SIZE",
+    "PageFaultError",
+    "PageTable",
+    "PhysicalFrameAllocator",
+    "TLB",
+]

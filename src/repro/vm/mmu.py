@@ -1,0 +1,76 @@
+"""The Memory Management Unit.
+
+Ties a :class:`~repro.vm.tlb.TLB` to a demand-paged
+:class:`~repro.vm.pagetable.PageTable` and surfaces the direct-store
+signal (paper Fig. 2, left): every translation reports both the physical
+address and whether the TLB's comparator fired, so the cache controller
+knows to forward the store over the dedicated network.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.utils.statistics import StatsRegistry
+from repro.vm.pagetable import PageTable
+from repro.vm.tlb import TLB
+
+
+@dataclass(frozen=True)
+class Translation:
+    """Result of one MMU translation."""
+
+    virtual_address: int
+    physical_address: int
+    tlb_hit: bool
+    #: extra latency (in CPU cycles) charged for the page-table walk
+    walk_cycles: int
+    #: the TLB detector fired: forward this store to the GPU L2
+    direct_store: bool
+    #: the address lies in the reserved window (loads bypass CPU caches)
+    ds_window: bool = False
+
+
+class MMU:
+    """Translates virtual addresses, demand-mapping pages on first touch.
+
+    Args:
+        name: statistics name.
+        page_table: the process page table.
+        tlb: the translation cache (with or without the DS detector).
+        walk_cycles: page-table-walk penalty charged on a TLB miss.
+    """
+
+    def __init__(self, name: str, page_table: PageTable, tlb: TLB,
+                 walk_cycles: int = 20) -> None:
+        self.name = name
+        self.page_table = page_table
+        self.tlb = tlb
+        self.walk_cycles = walk_cycles
+        self.stats = StatsRegistry(name)
+        self._translations = self.stats.counter("translations")
+        self._walks = self.stats.counter("page_table_walks")
+
+    def translate(self, virtual_address: int,
+                  is_store: bool = False) -> Translation:
+        """Translate one access; demand-map unmapped pages.
+
+        Demand mapping stands in for the OS page-fault handler: gem5's
+        syscall-emulation mode does the same, so first-touch latency is
+        charged as a table walk rather than a full fault.
+        """
+        self._translations.increment()
+        direct = self.tlb.detect_direct_store(virtual_address, is_store)
+        in_window = self.tlb.in_window(virtual_address)
+        pfn = self.tlb.lookup(virtual_address)
+        if pfn is not None:
+            physical = (pfn * self.page_table.page_size
+                        + (virtual_address % self.page_table.page_size))
+            return Translation(virtual_address, physical, True, 0, direct,
+                               in_window)
+        self._walks.increment()
+        physical = self.page_table.translate_or_map(virtual_address)
+        self.tlb.insert(virtual_address,
+                        physical // self.page_table.page_size)
+        return Translation(virtual_address, physical, False,
+                           self.walk_cycles, direct, in_window)

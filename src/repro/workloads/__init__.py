@@ -1,0 +1,39 @@
+"""Synthetic workloads reproducing the paper's Table II benchmarks.
+
+Each benchmark is a trace generator that reproduces the memory-access
+*structure* of the original CUDA program: producer/consumer buffer
+sizes, stride vs irregular access, shared-memory usage, compute
+intensity, and the small/big input sizes of Table II.  See
+:mod:`repro.workloads.suite` for the registry.
+"""
+
+from repro.workloads.base import BuildContext, Workload
+from repro.workloads.suite import (
+    BENCHMARKS,
+    TABLE2,
+    benchmark_codes,
+    get_workload,
+)
+from repro.workloads.trace import (
+    CpuOp,
+    CpuPhase,
+    KernelLaunch,
+    OpKind,
+    WarpOp,
+    WarpProgram,
+)
+
+__all__ = [
+    "BuildContext",
+    "Workload",
+    "BENCHMARKS",
+    "TABLE2",
+    "benchmark_codes",
+    "get_workload",
+    "CpuOp",
+    "CpuPhase",
+    "KernelLaunch",
+    "OpKind",
+    "WarpOp",
+    "WarpProgram",
+]

@@ -1,0 +1,164 @@
+"""Pannotia graph benchmark models (Table II rows GC, FW, MS, SP).
+
+All four traverse CSR graphs: the offsets/edges arrays stream while
+per-node state is gathered through the edge list — partially coalesced
+at best.  The paper runs ``power`` (small) and ``delaunay-nXX`` (big)
+inputs; we generate structurally matching graphs
+(:mod:`repro.workloads.graphs`).
+
+The graphs are capped in size so simulated runs stay tractable; the
+*ratio* of graph footprint to cache capacities — what drives the
+DS-vs-CCSM contrast — follows the paper's inputs.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from repro.workloads.base import BuildContext
+from repro.workloads.graphs import (
+    csr_arrays,
+    delaunay_like_graph,
+    power_grid_graph,
+)
+from repro.workloads.patterns import (
+    gather_warps,
+    merge_warp_programs,
+    stream_warps,
+)
+from repro.workloads.rodinia import RodiniaWorkload
+from repro.workloads.trace import KernelLaunch
+
+
+class PannotiaWorkload(RodiniaWorkload):
+    """Shared CSR plumbing for the Pannotia models."""
+
+    suite = "Pannotia"
+    uses_shared_memory = False
+    produce_gen_cycles = 20  # METIS-format ASCII graph parsing
+    #: nodes for (small=power-like, big=delaunay-like) inputs
+    graph_nodes = {"small": 4941, "big": 8192}
+
+    def _graph(self, ctx: BuildContext) -> Tuple[List[int], List[int]]:
+        nodes = self.graph_nodes[self.input_size]
+        if self.input_size == "small":
+            graph = power_grid_graph(nodes, seed=ctx.seed)
+        else:
+            graph = delaunay_like_graph(nodes, seed=ctx.seed)
+        return csr_arrays(graph)
+
+    def _csr_buffers(self, ctx: BuildContext, prefix: str,
+                     offsets: List[int], edges: List[int]):
+        """Allocate offsets / edges / per-node value arrays."""
+        offsets_bytes = max(4096, len(offsets) * 4)
+        edges_bytes = max(4096, len(edges) * 4)
+        values_bytes = max(4096, (len(offsets) - 1) * 4)
+        return (
+            ctx.alloc(f"{prefix}.offsets", offsets_bytes, True),
+            offsets_bytes,
+            ctx.alloc(f"{prefix}.edges", edges_bytes, True),
+            edges_bytes,
+            ctx.alloc(f"{prefix}.values", values_bytes, True),
+            values_bytes,
+        )
+
+    def _traversal(self, ctx: BuildContext, label: str, iterations: int,
+                   compute_per_access: int, store_values: bool = True
+                   ) -> List[object]:
+        offsets, edges = self._graph(ctx)
+        (off_base, off_bytes, edge_base, edge_bytes,
+         val_base, val_bytes) = self._csr_buffers(ctx, self.code.lower(),
+                                                  offsets, edges)
+        produce = self._produce(ctx, [(off_base, off_bytes),
+                                      (edge_base, edge_bytes),
+                                      (val_base, val_bytes)])
+        warps = self._warps(ctx, 6)
+        phases: List[object] = [produce]
+        for iteration in range(iterations):
+            pieces = [
+                stream_warps(off_base, off_bytes, warps,
+                             ctx.lanes_per_warp, ctx.line_size),
+                stream_warps(edge_base, edge_bytes, warps,
+                             ctx.lanes_per_warp, ctx.line_size),
+                gather_warps(val_base, val_bytes, warps, edges,
+                             ctx.lanes_per_warp, ctx.line_size,
+                             compute_per_access=compute_per_access),
+            ]
+            if store_values:
+                pieces.append(stream_warps(
+                    val_base, val_bytes, warps, ctx.lanes_per_warp,
+                    ctx.line_size, is_store=True, value=iteration))
+            phases.append(KernelLaunch(f"{self.code.lower()}.it{iteration}",
+                                       merge_warp_programs(*pieces)))
+        return phases
+
+
+class GraphColoring(PannotiaWorkload):
+    """GC — greedy graph colouring: repeated max-independent-set sweeps."""
+
+    code = "GC"
+    name = "color_max"
+    cpu_private_bytes = {"small": 16 * 1024, "big": 1024 * 1024}
+
+    def build(self, ctx: BuildContext) -> List[object]:
+        return self._traversal(ctx, "color", iterations=5,
+                               compute_per_access=18)
+
+
+class FloydWarshall(PannotiaWorkload):
+    """FW — all-pairs shortest paths over a dense distance matrix.
+
+    Unlike the traversal kernels, FW iterates a dense N×N matrix; big
+    inputs stream far more data per sweep than the small ones.
+    """
+
+    code = "FW"
+    name = "floydwarshall"
+    cpu_private_bytes = {"small": 32 * 1024, "big": 1280 * 1024}
+    produce_gen_cycles = 12
+
+    def build(self, ctx: BuildContext) -> List[object]:
+        n = 256 if self.input_size == "small" else 512
+        matrix_bytes = n * n * 4
+        dist = ctx.alloc("fw.dist", matrix_bytes, True)
+        produce = self._produce(ctx, [(dist, matrix_bytes)])
+        warps = self._warps(ctx, 6)
+        phases: List[object] = [produce]
+        # O(n^3) relaxation over O(n^2) data: block count grows with n
+        for block in range(max(3, n // 85)):
+            body = merge_warp_programs(
+                stream_warps(dist, matrix_bytes, warps, ctx.lanes_per_warp,
+                             ctx.line_size, compute_per_line=10),
+                stream_warps(dist, matrix_bytes, warps, ctx.lanes_per_warp,
+                             ctx.line_size, is_store=True, value=block),
+            )
+            phases.append(KernelLaunch(f"fw.block{block}", body))
+        return phases
+
+
+class MaximalIndependentSet(PannotiaWorkload):
+    """MS — maximal independent set: traversal with heavy per-node work.
+
+    The extra per-edge compute keeps the kernels issue-bound, giving the
+    paper's signature of reduced misses with zero speedup.
+    """
+
+    code = "MS"
+    name = "mis"
+    produce_gen_cycles = 30
+
+    def build(self, ctx: BuildContext) -> List[object]:
+        return self._traversal(ctx, "mis", iterations=8,
+                               compute_per_access=40)
+
+
+class SSSP(PannotiaWorkload):
+    """SP — single-source shortest paths: relaxation sweeps."""
+
+    code = "SP"
+    name = "sssp"
+    cpu_private_bytes = {"small": 16 * 1024, "big": 1024 * 1024}
+
+    def build(self, ctx: BuildContext) -> List[object]:
+        return self._traversal(ctx, "sssp", iterations=5,
+                               compute_per_access=18)

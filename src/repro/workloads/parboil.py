@@ -1,0 +1,53 @@
+"""Parboil benchmark model (Table II row ST)."""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.workloads.base import BuildContext
+from repro.workloads.patterns import merge_warp_programs, stream_warps
+from repro.workloads.rodinia import RodiniaWorkload
+from repro.workloads.trace import KernelLaunch
+
+
+class Stencil(RodiniaWorkload):
+    """ST — 7-point 3D Jacobi stencil (Parboil), shared-memory tiled.
+
+    Each sweep reads the input volume (with tile reuse through the
+    scratchpad) and writes the output volume, ping-ponging.  Several
+    sweeps re-touch both volumes, so L2 accesses dwarf the one-time
+    compulsory misses — the paper's "no miss-rate difference" group.
+    """
+
+    code = "ST"
+    name = "stencil"
+    suite = "Parboil"
+    uses_shared_memory = True
+    produce_gen_cycles = 30
+
+    def build(self, ctx: BuildContext) -> List[object]:
+        if self.input_size == "small":
+            nx, ny, nz = 128, 128, 32
+        else:
+            nx, ny, nz = 164, 164, 32
+        # two ping-pong volumes must stay L2-resident together — the
+        # paper's ST shows enormous access counts with unchanged miss
+        # rate, i.e. the tiled working set lives in the L2
+        volume_bytes = min(nx * ny * nz * 4, 768 * 1024)
+        vol_in = ctx.alloc("st.in", volume_bytes, True)
+        vol_out = ctx.alloc("st.out", volume_bytes, True)
+        produce = self._produce(ctx, [(vol_in, volume_bytes)])
+        warps = self._warps(ctx, 8)
+        phases: List[object] = [produce]
+        source, dest = vol_in, vol_out
+        for sweep in range(4):
+            body = merge_warp_programs(
+                stream_warps(source, volume_bytes, warps,
+                             ctx.lanes_per_warp, ctx.line_size,
+                             shmem_per_line=48),
+                stream_warps(dest, volume_bytes, warps, ctx.lanes_per_warp,
+                             ctx.line_size, is_store=True, value=sweep),
+            )
+            phases.append(KernelLaunch(f"st.sweep{sweep}", body))
+            source, dest = dest, source
+        return phases

@@ -1,0 +1,224 @@
+"""Reusable access-pattern builders for the benchmark trace generators.
+
+Every Table II benchmark decomposes into a handful of structural
+ingredients — a CPU produce loop, coalesced streams, strided
+(divergence-heavy) sweeps, broadcast reads of shared tables, irregular
+gathers over graph adjacency, scratchpad compute — and these helpers
+build those ingredients so the per-benchmark generators stay short and
+declarative.
+
+Conventions:
+
+* word size is 4 bytes; a 128-byte line holds 32 words — one fully
+  coalesced warp access;
+* the CPU produce loop issues one store per 32 bytes (a vectorised
+  store), the granularity at which a producer core fills cache lines;
+* GPU ops are emitted per warp; callers distribute warps over SMs via
+  the kernel launch.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional, Sequence
+
+from repro.workloads.trace import CpuOp, WarpOp, WarpProgram
+
+WORD = 4
+#: CPU produce-granularity: one trace store covers 32 bytes
+CPU_STORE_BYTES = 32
+
+
+# ----------------------------------------------------------------------
+# CPU-side patterns
+# ----------------------------------------------------------------------
+
+def cpu_produce(base: int, nbytes: int, value_seed: int = 1,
+                gen_cycles: int = 10) -> List[CpuOp]:
+    """CPU writes a buffer front to back (the produce phase).
+
+    One store per :data:`CPU_STORE_BYTES`; *gen_cycles* rides on each
+    store as issue delay, modelling the per-element generation work
+    (random init, parsing, arithmetic) every real produce loop does.
+    """
+    ops: List[CpuOp] = []
+    for offset in range(0, nbytes, CPU_STORE_BYTES):
+        op = CpuOp.store(base + offset, value_seed + offset)
+        op.cycles = gen_cycles
+        ops.append(op)
+    return ops
+
+
+def cpu_consume(base: int, nbytes: int,
+                stride_bytes: int = 4096) -> List[CpuOp]:
+    """CPU samples a result buffer (checksum-style verification)."""
+    return [CpuOp.load(base + offset)
+            for offset in range(0, nbytes, stride_bytes)]
+
+
+# ----------------------------------------------------------------------
+# GPU-side patterns
+# ----------------------------------------------------------------------
+
+def _lane_addresses(line_base: int, lanes: int) -> List[int]:
+    """Lane addresses for one fully coalesced line access."""
+    return [line_base + lane * WORD for lane in range(lanes)]
+
+
+def stream_warps(base: int, nbytes: int, num_warps: int,
+                 lanes: int = 32, line_size: int = 128,
+                 is_store: bool = False, value: Optional[int] = None,
+                 compute_per_line: int = 0,
+                 shmem_per_line: int = 0,
+                 reuse: int = 1) -> List[WarpProgram]:
+    """Coalesced streaming: warps stripe across the buffer's lines.
+
+    Warp *w* touches lines ``w, w+W, w+2W, …`` — the canonical grid-stride
+    loop, fully coalesced.  *reuse* > 1 repeats the whole sweep (iterative
+    kernels re-reading their input).
+    """
+    num_lines = max(1, nbytes // line_size)
+    programs = [WarpProgram() for _ in range(num_warps)]
+    for _iteration in range(reuse):
+        for line_index in range(num_lines):
+            warp = programs[line_index % num_warps]
+            line_base = base + line_index * line_size
+            addresses = _lane_addresses(line_base, lanes)
+            if is_store:
+                warp.ops.append(WarpOp.store(addresses, value))
+            else:
+                warp.ops.append(WarpOp.load(addresses))
+            if compute_per_line:
+                warp.ops.append(WarpOp.compute(compute_per_line))
+            if shmem_per_line:
+                warp.ops.append(WarpOp.shmem(shmem_per_line))
+    return programs
+
+
+def strided_warps(base: int, nbytes: int, num_warps: int,
+                  stride_lines: int, lanes: int = 32,
+                  line_size: int = 128, is_store: bool = False,
+                  value: Optional[int] = None,
+                  compute_per_access: int = 0) -> List[WarpProgram]:
+    """Divergent access: each lane of a warp touches a *different* line.
+
+    Models column-major / transposed traversal: one warp instruction
+    fans out into up to 32 transactions (matrix transpose's read or
+    write side, NW's column walks).
+    """
+    num_lines = max(1, nbytes // line_size)
+    programs = [WarpProgram() for _ in range(num_warps)]
+    accesses = max(1, num_lines // lanes)
+    for group in range(accesses):
+        warp = programs[group % num_warps]
+        addresses = []
+        for lane in range(lanes):
+            line_index = (group * lanes + lane) * stride_lines % num_lines
+            addresses.append(base + line_index * line_size)
+        if is_store:
+            warp.ops.append(WarpOp.store(addresses, value))
+        else:
+            warp.ops.append(WarpOp.load(addresses))
+        if compute_per_access:
+            warp.ops.append(WarpOp.compute(compute_per_access))
+    return programs
+
+
+def broadcast_warps(base: int, nbytes: int, num_warps: int,
+                    lanes: int = 32, line_size: int = 128,
+                    repeats: int = 1,
+                    compute_per_line: int = 0) -> List[WarpProgram]:
+    """Every warp reads the *same* region (shared tables, centroids).
+
+    The first warp to touch a line misses; the other ``num_warps - 1``
+    hit in the L2 (or their own L1), producing the high access count /
+    low miss count signature of GA, KM, and LV.
+    """
+    num_lines = max(1, nbytes // line_size)
+    programs = [WarpProgram() for _ in range(num_warps)]
+    for warp in programs:
+        for _repeat in range(repeats):
+            for line_index in range(num_lines):
+                line_base = base + line_index * line_size
+                warp.ops.append(WarpOp.load(_lane_addresses(line_base,
+                                                            lanes)))
+                if compute_per_line:
+                    warp.ops.append(WarpOp.compute(compute_per_line))
+    return programs
+
+
+def gather_warps(base: int, nbytes: int, num_warps: int,
+                 indices: Sequence[int], lanes: int = 32,
+                 line_size: int = 128,
+                 compute_per_access: int = 0) -> List[WarpProgram]:
+    """Irregular gather: lane addresses come from an index list.
+
+    *indices* are element indices into the buffer (graph neighbour ids);
+    consecutive lanes take consecutive indices, so coalescing quality is
+    whatever the index stream provides — exactly how Pannotia kernels
+    read node data through edge lists.
+    """
+    elements = max(1, nbytes // WORD)
+    programs = [WarpProgram() for _ in range(num_warps)]
+    for group_start in range(0, len(indices), lanes):
+        warp = programs[(group_start // lanes) % num_warps]
+        group = indices[group_start:group_start + lanes]
+        addresses = [base + (index % elements) * WORD for index in group]
+        warp.ops.append(WarpOp.load(addresses))
+        if compute_per_access:
+            warp.ops.append(WarpOp.compute(compute_per_access))
+    return programs
+
+
+def shmem_compute_warps(num_warps: int, bursts: int,
+                        cycles_per_burst: int) -> List[WarpProgram]:
+    """Pure scratchpad compute (the inner loops of tiled kernels)."""
+    programs = [WarpProgram() for _ in range(num_warps)]
+    for warp in programs:
+        for _burst in range(bursts):
+            warp.ops.append(WarpOp.shmem(cycles_per_burst))
+    return programs
+
+
+def merge_warp_programs(*groups: List[WarpProgram]) -> List[WarpProgram]:
+    """Concatenate per-warp op lists position-wise.
+
+    All groups must have the same warp count; warp *i*'s ops from each
+    group run in sequence — the way a real kernel interleaves its
+    load / compute / store stages per thread block.
+    """
+    lengths = {len(group) for group in groups}
+    if len(lengths) != 1:
+        raise ValueError(
+            f"cannot merge warp groups of differing sizes {sorted(lengths)}")
+    merged = [WarpProgram() for _ in range(lengths.pop())]
+    for group in groups:
+        for target, source in zip(merged, group):
+            target.ops.extend(source.ops)
+    return merged
+
+
+def interleave_warp_programs(*groups: List[WarpProgram]
+                             ) -> List[WarpProgram]:
+    """Interleave groups op by op (load-compute-store pipelining)."""
+    lengths = {len(group) for group in groups}
+    if len(lengths) != 1:
+        raise ValueError("warp-group sizes differ")
+    merged = [WarpProgram() for _ in range(lengths.pop())]
+    for warp_index, target in enumerate(merged):
+        cursors = [0] * len(groups)
+        remaining = sum(len(group[warp_index].ops) for group in groups)
+        while remaining:
+            for group_index, group in enumerate(groups):
+                ops = group[warp_index].ops
+                if cursors[group_index] < len(ops):
+                    target.ops.append(ops[cursors[group_index]])
+                    cursors[group_index] += 1
+                    remaining -= 1
+    return merged
+
+
+def random_indices(count: int, universe: int, seed: int) -> List[int]:
+    """Deterministic irregular index stream."""
+    rng = random.Random(seed)
+    return [rng.randrange(max(1, universe)) for _ in range(count)]

@@ -1,0 +1,131 @@
+"""The benchmark registry — the paper's Table II in code."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Type
+
+from repro.workloads.base import Workload
+from repro.workloads.misc import (
+    BitonicSort,
+    Cholesky,
+    MatrixMultiply,
+    MatrixTranspose,
+)
+from repro.workloads.pannotia import (
+    FloydWarshall,
+    GraphColoring,
+    MaximalIndependentSet,
+    SSSP,
+)
+from repro.workloads.parboil import Stencil
+from repro.workloads.rodinia import (
+    Backprop,
+    BfsGraph,
+    Gaussian,
+    Hotspot,
+    Kmeans,
+    LavaMD,
+    LUDecomposition,
+    NearestNeighbor,
+    NeedlemanWunsch,
+    Pathfinder,
+    Srad,
+)
+from repro.workloads.sdk import BlackScholes, VectorAdd
+
+
+@dataclass(frozen=True)
+class Table2Row:
+    """One row of the paper's Table II."""
+
+    code: str
+    small_input: str
+    big_input: str
+    suite: str
+    shared: bool
+
+
+#: Table II verbatim (code, small input, big input, suite, Shared).
+TABLE2: List[Table2Row] = [
+    Table2Row("BP", "1536", "10000", "Rodinia", True),
+    Table2Row("BF", "4096", "6000", "Rodinia", False),
+    Table2Row("GA", "256x256", "700x700", "Rodinia", True),
+    Table2Row("HT", "64x64", "512x512", "Rodinia", True),
+    Table2Row("KM", "2000, 34 feat", "5000, 34 feat.", "Rodinia", True),
+    Table2Row("LV", "2", "4", "Rodinia", True),
+    Table2Row("LU", "256x256", "512x512", "Rodinia", True),
+    Table2Row("NN", "10691", "42764", "Rodinia", False),
+    Table2Row("NW", "160x160", "320x320", "Rodinia", True),
+    Table2Row("PT", "2500", "5000", "Rodinia", True),
+    Table2Row("SR", "256x256", "512x512", "Rodinia", True),
+    Table2Row("ST", "128x128x32", "164x164x32", "Parboil", True),
+    Table2Row("GC", "power", "delaunay-n15", "Pannotia", False),
+    Table2Row("FW", "256_16384", "512_65536", "Pannotia", False),
+    Table2Row("MS", "power", "delaunay-n13", "Pannotia", False),
+    Table2Row("SP", "power", "delaunay-n13", "Pannotia", False),
+    Table2Row("BL", "5000", "10000", "NVIDIA SDK", False),
+    Table2Row("VA", "50000", "200000", "NVIDIA SDK", False),
+    Table2Row("BS", "262144", "524288", "[24]", False),
+    Table2Row("MM", "256x256", "900x900", "[25]", False),
+    Table2Row("MT", "32x32", "1600x1600", "[25]", False),
+    Table2Row("CH", "150x150", "600x600", "[26]", False),
+]
+
+#: code → workload class
+BENCHMARKS: Dict[str, Type[Workload]] = {
+    "BP": Backprop,
+    "BF": BfsGraph,
+    "GA": Gaussian,
+    "HT": Hotspot,
+    "KM": Kmeans,
+    "LV": LavaMD,
+    "LU": LUDecomposition,
+    "NN": NearestNeighbor,
+    "NW": NeedlemanWunsch,
+    "PT": Pathfinder,
+    "SR": Srad,
+    "ST": Stencil,
+    "GC": GraphColoring,
+    "FW": FloydWarshall,
+    "MS": MaximalIndependentSet,
+    "SP": SSSP,
+    "BL": BlackScholes,
+    "VA": VectorAdd,
+    "BS": BitonicSort,
+    "MM": MatrixMultiply,
+    "MT": MatrixTranspose,
+    "CH": Cholesky,
+}
+
+
+def benchmark_codes() -> List[str]:
+    """All Table II codes, in table order."""
+    return [row.code for row in TABLE2]
+
+
+def get_workload(code: str, input_size: str = "small") -> Workload:
+    """Instantiate one benchmark by its Table II code."""
+    try:
+        workload_class = BENCHMARKS[code.upper()]
+    except KeyError:
+        raise ValueError(
+            f"unknown benchmark {code!r}; choose from "
+            f"{sorted(BENCHMARKS)}") from None
+    return workload_class(input_size)
+
+
+def _check_registry() -> None:
+    """Registry self-check: Table II and the class map must agree."""
+    for row in TABLE2:
+        workload_class = BENCHMARKS[row.code]
+        if workload_class.code != row.code:
+            raise AssertionError(
+                f"{workload_class.__name__}.code={workload_class.code!r} "
+                f"!= Table II {row.code!r}")
+        if workload_class.uses_shared_memory != row.shared:
+            raise AssertionError(
+                f"{row.code}: shared-memory flag mismatch with Table II")
+
+
+_check_registry()

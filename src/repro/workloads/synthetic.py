@@ -1,0 +1,105 @@
+"""A parameterised synthetic workload for design-space exploration.
+
+The Table II generators reproduce specific applications; this class
+exposes the underlying dials directly so users can map out *when*
+direct store helps:
+
+* ``footprint_bytes`` — how much the CPU produces for the GPU;
+* ``compute_per_line`` — GPU arithmetic intensity (cycles per line);
+* ``shmem_per_line`` — scratchpad work (the shared-memory benchmarks'
+  signature);
+* ``reuse`` — how many times the kernel re-reads the data (iterative
+  kernels amortise the one-time pull cost);
+* ``warps_per_sm`` — occupancy, i.e. latency-hiding capacity;
+* ``producer_fraction`` — how much of the footprint the CPU actually
+  writes (PT-style GPU-fed data at 0.0);
+* ``gen_cycles`` — produce-loop generation cost per 32-byte store.
+
+``benchmarks/test_design_space.py`` sweeps these axes and checks the
+qualitative laws (more reuse ⇒ less benefit; no producer ⇒ no benefit;
+more compute ⇒ less benefit).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from repro.workloads.base import BuildContext, Workload
+from repro.workloads.patterns import cpu_produce, merge_warp_programs, stream_warps
+from repro.workloads.trace import CpuPhase, KernelLaunch
+
+
+@dataclass
+class SyntheticSpec:
+    """The dials of the design space."""
+
+    footprint_bytes: int = 256 * 1024
+    compute_per_line: int = 0
+    shmem_per_line: int = 0
+    reuse: int = 1
+    warps_per_sm: int = 4
+    producer_fraction: float = 1.0
+    gen_cycles: int = 8
+    output_bytes: int = 16 * 1024
+
+    def validate(self) -> None:
+        if self.footprint_bytes <= 0:
+            raise ValueError("footprint must be positive")
+        if not 0.0 <= self.producer_fraction <= 1.0:
+            raise ValueError("producer_fraction must be within [0, 1]")
+        if self.reuse < 1:
+            raise ValueError("reuse must be at least 1")
+        if self.warps_per_sm < 1:
+            raise ValueError("need at least one warp per SM")
+
+
+class SyntheticProducerConsumer(Workload):
+    """CPU produces (part of) a buffer; GPU streams it ``reuse`` times."""
+
+    code = "SY"
+    name = "synthetic"
+    uses_shared_memory = False
+
+    def __init__(self, spec: SyntheticSpec,
+                 input_size: str = "small") -> None:
+        super().__init__(input_size)
+        spec.validate()
+        self.spec = spec
+        self.uses_shared_memory = spec.shmem_per_line > 0
+
+    def build(self, ctx: BuildContext) -> List[object]:
+        spec = self.spec
+        data = ctx.alloc("sy.data", spec.footprint_bytes, True)
+        out = ctx.alloc("sy.out", spec.output_bytes, True)
+
+        produced = int(spec.footprint_bytes * spec.producer_fraction)
+        produced -= produced % 32
+        ops = []
+        if produced:
+            ops.extend(cpu_produce(data, produced,
+                                   gen_cycles=spec.gen_cycles))
+        phases: List[object] = [CpuPhase("sy.produce", ops)]
+
+        warps = spec.warps_per_sm * ctx.num_sms
+        if spec.producer_fraction < 1.0:
+            # the GPU initialises the rest itself (PT-style)
+            remainder = spec.footprint_bytes - produced
+            if remainder >= ctx.line_size:
+                init = stream_warps(data + produced, remainder, warps,
+                                    ctx.lanes_per_warp, ctx.line_size,
+                                    is_store=True, value=1)
+                phases.append(KernelLaunch("sy.init", init))
+
+        body = merge_warp_programs(
+            stream_warps(data, spec.footprint_bytes, warps,
+                         ctx.lanes_per_warp, ctx.line_size,
+                         compute_per_line=spec.compute_per_line,
+                         shmem_per_line=spec.shmem_per_line,
+                         reuse=spec.reuse),
+            stream_warps(out, spec.output_bytes, warps,
+                         ctx.lanes_per_warp, ctx.line_size,
+                         is_store=True, value=9),
+        )
+        phases.append(KernelLaunch("sy.consume", body))
+        return phases

@@ -1,0 +1,126 @@
+"""Trace format shared by the CPU and GPU models.
+
+A workload is a list of *phases*, executed in order:
+
+* :class:`CpuPhase` — the CPU produce (or post-process) phase: a
+  sequence of loads, stores, and compute bubbles executed by the
+  in-order core;
+* :class:`KernelLaunch` — a GPU kernel: a set of
+  :class:`WarpProgram` traces distributed round-robin over the SMs, each
+  a sequence of (coalescable) vector memory ops, compute bubbles, and
+  shared-memory (scratchpad) ops.
+
+Addresses in traces are *virtual*; the CPU MMU and GPU MMU translate
+them at execution time, which is what lets the same trace run under
+CCSM (heap addresses) and direct store (reserved-window addresses) —
+the workload builder simply asks the allocator for the buffer bases.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import List, Optional, Sequence, Tuple
+
+
+class OpKind(Enum):
+    """Operation flavours appearing in traces."""
+
+    LOAD = "load"
+    STORE = "store"
+    COMPUTE = "compute"
+    SHMEM = "shmem"  # GPU software-managed shared memory access
+
+
+@dataclass
+class CpuOp:
+    """One in-order CPU operation."""
+
+    kind: OpKind
+    address: int = 0
+    value: Optional[int] = None
+    cycles: int = 0
+
+    @staticmethod
+    def load(address: int) -> "CpuOp":
+        return CpuOp(OpKind.LOAD, address=address)
+
+    @staticmethod
+    def store(address: int, value: Optional[int] = None) -> "CpuOp":
+        return CpuOp(OpKind.STORE, address=address, value=value)
+
+    @staticmethod
+    def compute(cycles: int) -> "CpuOp":
+        return CpuOp(OpKind.COMPUTE, cycles=cycles)
+
+
+@dataclass
+class WarpOp:
+    """One warp-wide GPU operation.
+
+    For memory ops, *addresses* holds the per-lane byte addresses of one
+    vector instruction; the coalescer merges them into line requests.
+    """
+
+    kind: OpKind
+    addresses: Tuple[int, ...] = ()
+    value: Optional[int] = None
+    cycles: int = 0
+
+    @staticmethod
+    def load(addresses: Sequence[int]) -> "WarpOp":
+        return WarpOp(OpKind.LOAD, addresses=tuple(addresses))
+
+    @staticmethod
+    def store(addresses: Sequence[int],
+              value: Optional[int] = None) -> "WarpOp":
+        return WarpOp(OpKind.STORE, addresses=tuple(addresses), value=value)
+
+    @staticmethod
+    def compute(cycles: int) -> "WarpOp":
+        return WarpOp(OpKind.COMPUTE, cycles=cycles)
+
+    @staticmethod
+    def shmem(cycles: int) -> "WarpOp":
+        """A burst of shared-memory (scratchpad) work costing *cycles*."""
+        return WarpOp(OpKind.SHMEM, cycles=cycles)
+
+
+@dataclass
+class WarpProgram:
+    """The op trace of one warp."""
+
+    ops: List[WarpOp] = field(default_factory=list)
+
+    def __len__(self) -> int:
+        return len(self.ops)
+
+
+@dataclass
+class CpuPhase:
+    """A CPU execution phase."""
+
+    name: str
+    ops: List[CpuOp] = field(default_factory=list)
+
+    def __len__(self) -> int:
+        return len(self.ops)
+
+
+@dataclass
+class KernelLaunch:
+    """A GPU kernel launch: warps plus launch semantics.
+
+    GPU L1 caches are flash-invalidated when the kernel starts (the
+    software coherence convention the paper's baseline uses).
+    """
+
+    name: str
+    warps: List[WarpProgram] = field(default_factory=list)
+
+    def __len__(self) -> int:
+        return len(self.warps)
+
+
+#: A phase is either a CPU phase or a kernel launch.
+Phase = object

@@ -1,0 +1,32 @@
+"""Shared fixtures: small, fast system configurations for tests."""
+
+import pytest
+
+from repro.core.config import (
+    CpuConfig,
+    GpuConfig,
+    NetworkConfig,
+    SystemConfig,
+)
+from repro.mem.dram import DramConfig
+
+
+@pytest.fixture
+def tiny_config() -> SystemConfig:
+    """A scaled-down Table I machine: fast to simulate, same structure."""
+    return SystemConfig(
+        cpu=CpuConfig(l1d_size=8 * 1024, l1i_size=8 * 1024,
+                      l2_size=64 * 1024, store_buffer_entries=16,
+                      max_outstanding_drains=4, num_mshrs=8),
+        gpu=GpuConfig(num_sms=4, l1_size=4 * 1024, l2_size=64 * 1024,
+                      l2_slices=2, mshrs_per_slice=8),
+        dram=DramConfig(size_bytes=64 * 1024 * 1024),
+        network=NetworkConfig(),
+        track_values=True,
+    )
+
+
+@pytest.fixture
+def table1_config() -> SystemConfig:
+    """The paper's full Table I configuration."""
+    return SystemConfig()

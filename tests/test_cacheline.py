@@ -1,0 +1,56 @@
+"""Unit tests for the cache-line block state."""
+
+from repro.mem.cacheline import CacheLine
+
+
+class TestLifecycle:
+    def test_starts_invalid(self):
+        line = CacheLine()
+        assert not line.valid
+        assert "invalid" in repr(line)
+
+    def test_fill(self):
+        line = CacheLine()
+        line.fill(tag=0x12, state="MM", tick=100, data={0: 7}, dirty=True)
+        assert line.valid
+        assert line.tag == 0x12
+        assert line.state == "MM"
+        assert line.dirty
+        assert line.fill_tick == 100
+
+    def test_invalidate_clears_everything(self):
+        line = CacheLine()
+        line.fill(1, "S", 0, data={0: 1})
+        line.invalidate()
+        assert not line.valid
+        assert line.state is None
+        assert line.data is None
+        assert not line.dirty
+
+
+class TestWords:
+    def test_write_word_sets_dirty(self):
+        line = CacheLine()
+        line.fill(1, "MM", 0, data={})
+        line.dirty = False
+        line.write_word(3, 99)
+        assert line.dirty
+        assert line.read_word(3) == 99
+
+    def test_untracked_write_is_noop_for_data(self):
+        line = CacheLine()
+        line.fill(1, "MM", 0, data=None)
+        line.write_word(0, 5)
+        assert line.data is None
+        assert line.dirty  # timing-visible dirtiness is still recorded
+
+    def test_read_missing_word(self):
+        line = CacheLine()
+        line.fill(1, "S", 0, data={1: 2})
+        assert line.read_word(0) is None
+        assert line.read_word(1) == 2
+
+    def test_read_untracked(self):
+        line = CacheLine()
+        line.fill(1, "S", 0)
+        assert line.read_word(0) is None

@@ -1,0 +1,74 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestTableCommands:
+    def test_table1(self, capsys):
+        assert main(["table1"]) == 0
+        out = capsys.readouterr().out
+        assert "16 - 32 lanes per SM" in out
+
+    def test_table2(self, capsys):
+        assert main(["table2"]) == 0
+        out = capsys.readouterr().out
+        assert "BP" in out and "delaunay-n15" in out
+
+
+class TestRunCommands:
+    def test_run_single_mode(self, capsys):
+        assert main(["run", "PT", "--mode", "ccsm"]) == 0
+        out = capsys.readouterr().out
+        assert "ccsm" in out and "Total ticks" in out
+
+    def test_run_unknown_code(self, capsys):
+        assert main(["run", "ZZ"]) == 2
+        assert "unknown benchmark" in capsys.readouterr().err
+
+    def test_compare(self, capsys):
+        assert main(["compare", "PT"]) == 0
+        out = capsys.readouterr().out
+        assert "speedup" in out
+
+    def test_figure4_subset(self, capsys):
+        assert main(["figure4", "--codes", "PT"]) == 0
+        out = capsys.readouterr().out
+        assert "FIG. 4" in out and "geomean" in out
+
+    def test_figure5_subset(self, capsys):
+        assert main(["figure5", "--codes", "PT"]) == 0
+        out = capsys.readouterr().out
+        assert "FIG. 5" in out and "PT" in out
+
+
+class TestTranslate:
+    def test_translate_to_stdout(self, tmp_path, capsys):
+        source = tmp_path / "prog.cu"
+        source.write_text(
+            "#define N 64\nint *x;\n"
+            "x = (int *)malloc(N * sizeof(int));\n"
+            "k<<<g, b>>>(x);\n")
+        assert main(["translate", str(source)]) == 0
+        captured = capsys.readouterr()
+        assert "mmap" in captured.out
+        assert "0x400000000000" in captured.err
+
+    def test_translate_to_file(self, tmp_path, capsys):
+        source = tmp_path / "prog.cu"
+        source.write_text(
+            "int *x;\nx = (int *)malloc(4096);\nk<<<g, b>>>(x);\n")
+        output = tmp_path / "prog_ds.cu"
+        assert main(["translate", str(source), "-o", str(output)]) == 0
+        assert "mmap" in output.read_text()
+
+
+class TestArgumentErrors:
+    def test_no_command(self):
+        with pytest.raises(SystemExit):
+            main([])
+
+    def test_bad_input_size(self):
+        with pytest.raises(SystemExit):
+            main(["run", "VA", "--input-size", "huge"])

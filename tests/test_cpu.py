@@ -1,0 +1,166 @@
+"""Tests for the CPU core and memory subsystem."""
+
+import pytest
+
+from repro.core.protocol_mode import CoherenceMode
+from repro.core.system import IntegratedSystem
+from repro.workloads.base import Workload
+from repro.workloads.trace import CpuOp, CpuPhase
+
+
+class _CpuOnlyWorkload(Workload):
+    """A workload consisting of a single CPU phase built from raw ops."""
+
+    code = "XX"
+    name = "cpu-only"
+
+    def __init__(self, ops_builder):
+        super().__init__("small")
+        self._ops_builder = ops_builder
+        self.buffers = {}
+
+    def build(self, ctx):
+        self.buffers["heap"] = ctx.alloc("heap", 64 * 1024, False)
+        self.buffers["shared"] = ctx.alloc("shared", 64 * 1024, True)
+        return [CpuPhase("ops", self._ops_builder(self.buffers))]
+
+
+def run_cpu_ops(tiny_config, mode, ops_builder):
+    system = IntegratedSystem(tiny_config, mode)
+    workload = _CpuOnlyWorkload(ops_builder)
+    result = system.run(workload)
+    return system, workload, result
+
+
+class TestComputeAndLoads:
+    def test_compute_advances_time(self, tiny_config):
+        _s, _w, fast = run_cpu_ops(tiny_config, CoherenceMode.CCSM,
+                                   lambda b: [CpuOp.compute(10)])
+        _s2, _w2, slow = run_cpu_ops(tiny_config, CoherenceMode.CCSM,
+                                     lambda b: [CpuOp.compute(10_000)])
+        assert slow.total_ticks > fast.total_ticks
+
+    def test_load_returns_stored_value_through_caches(self, tiny_config):
+        def ops(buffers):
+            base = buffers["heap"]
+            return [CpuOp.store(base, 42), CpuOp.load(base)]
+
+        system, _w, _r = run_cpu_ops(tiny_config, CoherenceMode.CCSM, ops)
+        system.check_invariants()
+
+    def test_loads_hit_l1_after_fill(self, tiny_config):
+        def ops(buffers):
+            base = buffers["heap"]
+            return [CpuOp.load(base), CpuOp.load(base), CpuOp.load(base)]
+
+        system, _w, _r = run_cpu_ops(tiny_config, CoherenceMode.CCSM, ops)
+        assert system.cpu_l1d.hits >= 2
+
+
+class TestStoreBuffer:
+    def test_stores_drain_completely(self, tiny_config):
+        def ops(buffers):
+            base = buffers["heap"]
+            return [CpuOp.store(base + i * 32, i) for i in range(100)]
+
+        system, workload, _r = run_cpu_ops(tiny_config,
+                                           CoherenceMode.CCSM, ops)
+        assert system.cpu_core.store_buffer.is_empty
+        # every value is architecturally visible
+        base = workload.buffers["heap"]
+        pa = system.page_table.translate(base + 99 * 32)
+        line = system.cpu_l2.probe(pa)
+        l1 = system.cpu_l1d.probe(pa)
+        word = (pa % 128) // 4
+        values = [c.data.get(word) for c in (line,) if c and c.data]
+        values += [c.data.get(word) for c in (l1,) if c and c.data]
+        assert 99 in values
+
+    def test_write_combining_reduces_transactions(self, tiny_config):
+        def ops(buffers):
+            base = buffers["heap"]
+            return [CpuOp.store(base + i * 32, i) for i in range(64)]
+
+        system, _w, _r = run_cpu_ops(tiny_config, CoherenceMode.CCSM, ops)
+        # 64 stores over 16 lines: far fewer than 64 L2 transactions
+        assert system.cpu_l2.accesses < 64
+
+    def test_store_to_load_forwarding(self, tiny_config):
+        def ops(buffers):
+            base = buffers["heap"]
+            return ([CpuOp.store(base + i * 32, i) for i in range(8)]
+                    + [CpuOp.load(base)])
+
+        system, _w, _r = run_cpu_ops(tiny_config, CoherenceMode.CCSM, ops)
+        system.check_invariants()
+
+
+class TestDirectStoreRouting:
+    def test_window_stores_forward(self, tiny_config):
+        def ops(buffers):
+            base = buffers["shared"]
+            return [CpuOp.store(base + i * 32, i) for i in range(32)]
+
+        system, _w, _r = run_cpu_ops(tiny_config,
+                                     CoherenceMode.DIRECT_STORE, ops)
+        assert system.ds_network.forwarded_stores > 0
+        # the CPU never caches window data
+        assert all(not system.dsu.is_ds_physical_line(addr)
+                   for addr, _line in system.cpu_l2.resident_lines())
+
+    def test_heap_stores_not_forwarded(self, tiny_config):
+        def ops(buffers):
+            base = buffers["heap"]
+            return [CpuOp.store(base + i * 32, i) for i in range(32)]
+
+        system, _w, _r = run_cpu_ops(tiny_config,
+                                     CoherenceMode.DIRECT_STORE, ops)
+        assert system.ds_network.forwarded_stores == 0
+
+    def test_ccsm_mode_never_forwards(self, tiny_config):
+        def ops(buffers):
+            base = buffers["shared"]
+            return [CpuOp.store(base + i * 32, i) for i in range(32)]
+
+        system, _w, _r = run_cpu_ops(tiny_config, CoherenceMode.CCSM, ops)
+        assert system.ds_network is None
+
+    def test_window_load_does_not_allocate_on_cpu(self, tiny_config):
+        def ops(buffers):
+            base = buffers["shared"]
+            return [CpuOp.store(base, 7), CpuOp.load(base)]
+
+        system, workload, _r = run_cpu_ops(
+            tiny_config, CoherenceMode.DIRECT_STORE, ops)
+        pa = system.page_table.translate(workload.buffers["shared"])
+        assert system.cpu_l2.probe(pa) is None
+        assert system.cpu_l1d.probe(pa) is None
+        assert system.cpu_mem.stats.counter("uncached_loads").value >= 1
+
+
+class TestWritebackL1:
+    def test_dirty_l1_data_visible_to_gpu(self, tiny_config):
+        """The flush-on-probe hook: newest CPU data reaches a GPU reader
+        even while it only lives dirty in the CPU L1."""
+        from repro.workloads.trace import KernelLaunch, WarpProgram, WarpOp
+
+        class _ProduceConsume(Workload):
+            code = "XX"
+            name = "wb"
+
+            def build(self, ctx):
+                self.base = ctx.alloc("buf", 4096, True)
+                produce = CpuPhase("p", [
+                    CpuOp.store(self.base, 11),
+                    CpuOp.store(self.base, 22),   # second store hits L1
+                ])
+                warp = WarpProgram([WarpOp.load([self.base])])
+                return [produce, KernelLaunch("k", [warp])]
+
+        system = IntegratedSystem(tiny_config, CoherenceMode.CCSM,
+                                  record_gpu_loads=True)
+        workload = _ProduceConsume("small")
+        system.run(workload)
+        loads = [value for _addr, value in system.sms[0].loaded_values]
+        assert loads == [22]
+        system.check_invariants()

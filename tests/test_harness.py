@@ -1,0 +1,135 @@
+"""Tests for the experiment harness (runner, experiments, reporting)."""
+
+import pytest
+
+from repro.core.config import SystemConfig
+from repro.core.protocol_mode import CoherenceMode
+from repro.harness.experiments import (
+    Fig4Row,
+    Fig5Row,
+    figure4,
+    figure5,
+    geomean_miss_rates,
+    geomean_nonzero_speedup,
+)
+from repro.harness.reporting import ascii_bar_chart, format_table
+from repro.harness.runner import compare_modes, run_benchmark
+from repro.harness.sweep import sweep_config
+
+
+def small_config(tiny_config):
+    return tiny_config.with_overrides(track_values=False)
+
+
+class TestRunner:
+    def test_run_benchmark(self, tiny_config):
+        result = run_benchmark("VA", "small", CoherenceMode.CCSM,
+                               small_config(tiny_config))
+        assert result.total_ticks > 0
+        assert result.workload == "VA/small"
+        assert result.mode == "ccsm"
+
+    def test_compare_modes(self, tiny_config):
+        comparison = compare_modes("VA", "small",
+                                   small_config(tiny_config))
+        assert comparison.code == "VA"
+        assert comparison.speedup > 0
+        assert comparison.speedup_percent == pytest.approx(
+            (comparison.speedup - 1) * 100)
+        assert 0 <= comparison.ccsm_miss_rate <= 1
+        assert 0 <= comparison.ds_miss_rate <= 1
+
+    def test_fresh_systems_per_run(self, tiny_config):
+        config = small_config(tiny_config)
+        first = run_benchmark("VA", "small", CoherenceMode.CCSM, config)
+        second = run_benchmark("VA", "small", CoherenceMode.CCSM, config)
+        assert first.total_ticks == second.total_ticks  # no carry-over
+
+
+class TestExperiments:
+    def test_figure4_rows(self, tiny_config):
+        rows = figure4("small", small_config(tiny_config),
+                       codes=["VA", "PT"])
+        assert [row.code for row in rows] == ["VA", "PT"]
+        assert all(isinstance(row, Fig4Row) for row in rows)
+
+    def test_figure5_rows(self, tiny_config):
+        rows = figure5("small", small_config(tiny_config), codes=["VA"])
+        assert isinstance(rows[0], Fig5Row)
+        assert rows[0].ds_miss_rate <= rows[0].ccsm_miss_rate
+
+    def test_geomean_nonzero_filters(self):
+        rows = [Fig4Row("A", 1.10), Fig4Row("B", 1.001), Fig4Row("C", 1.0)]
+        assert geomean_nonzero_speedup(rows) == pytest.approx(1.10)
+
+    def test_geomean_nonzero_all_zero(self):
+        assert geomean_nonzero_speedup([Fig4Row("A", 1.0)]) == 1.0
+
+    def test_geomean_miss_rates_excludes_zeros(self):
+        rows = [Fig5Row("A", 0.1, 0.05), Fig5Row("B", 0.0, 0.0)]
+        ccsm, ds = geomean_miss_rates(rows)
+        assert ccsm == pytest.approx(0.1)
+        assert ds == pytest.approx(0.05)
+
+    def test_progress_callback(self, tiny_config):
+        seen = []
+        figure4("small", small_config(tiny_config), codes=["VA"],
+                progress=seen.append)
+        assert seen == ["VA"]
+
+
+class TestSweep:
+    def test_sweep_applies_values(self, tiny_config):
+        points = sweep_config(
+            "VA", "small", [4, 16],
+            lambda cfg, v: setattr(cfg.network, "ds_latency_cycles", v))
+        assert [p.value for p in points] == [4, 16]
+        assert all(p.speedup > 0 for p in points)
+
+
+class TestReporting:
+    def test_format_table_alignment(self):
+        text = format_table(["A", "Long header"],
+                            [["x", 1], ["yyyy", 22]])
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert len(set(len(line.rstrip()) for line in lines[2:])) <= 2
+
+    def test_bar_chart(self):
+        chart = ascii_bar_chart([("a", 10.0), ("bb", 5.0)], width=10)
+        lines = chart.splitlines()
+        assert lines[0].count("#") == 10
+        assert lines[1].count("#") == 5
+
+    def test_bar_chart_empty(self):
+        assert ascii_bar_chart([]) == "(no data)"
+
+    def test_bar_chart_all_zero(self):
+        chart = ascii_bar_chart([("a", 0.0)])
+        assert "a" in chart
+
+
+class TestPrefetcherBaseline:
+    def test_prefetch_fills_next_line(self, tiny_config):
+        from repro.core.system import IntegratedSystem
+        config = small_config(tiny_config)
+        config.gpu.prefetch_degree = 2
+        system = IntegratedSystem(config, CoherenceMode.CCSM)
+        assert system.prefetcher is not None
+        result = system.run(
+            __import__("repro.workloads.suite",
+                       fromlist=["get_workload"]).get_workload(
+                           "VA", "small"))
+        assert result.stats["hammer.prefetches"] > 0
+
+    def test_degree_zero_disables(self, tiny_config):
+        from repro.core.system import IntegratedSystem
+        config = small_config(tiny_config)
+        config.gpu.prefetch_degree = 0
+        system = IntegratedSystem(config, CoherenceMode.CCSM)
+        assert system.prefetcher is None
+
+    def test_negative_degree_rejected(self):
+        from repro.gpu.prefetch import NextLinePrefetcher
+        with pytest.raises(ValueError):
+            NextLinePrefetcher("p", None, lambda a: "s", degree=-1)

@@ -1,0 +1,71 @@
+"""Unit + property tests for the functional memory image."""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.mem.memimage import WORD_SIZE, MemoryImage
+
+
+class TestWordAccess:
+    def test_unwritten_reads_default(self):
+        image = MemoryImage()
+        assert image.read_word(0x1234) == 0
+        assert image.read_word(0x1234, default=7) == 7
+
+    def test_write_then_read(self):
+        image = MemoryImage()
+        image.write_word(0x1000, 99)
+        assert image.read_word(0x1000) == 99
+
+    def test_word_granularity(self):
+        image = MemoryImage()
+        image.write_word(0x1000, 1)
+        # all byte addresses within the word alias to it
+        assert image.read_word(0x1003) == 1
+        assert image.read_word(0x1004) == 0
+
+
+class TestLineAccess:
+    def test_read_line_collects_words(self):
+        image = MemoryImage(line_size=128)
+        image.write_word(0x1000, 10)       # offset 0
+        image.write_word(0x1000 + 124, 31)  # offset 31
+        payload = image.read_line(0x1000)
+        assert payload == {0: 10, 31: 31}
+
+    def test_write_line(self):
+        image = MemoryImage(line_size=128)
+        image.write_line(0x2000, {0: 5, 3: 8})
+        assert image.read_word(0x2000) == 5
+        assert image.read_word(0x2000 + 3 * WORD_SIZE) == 8
+
+    def test_word_offset_in_line(self):
+        image = MemoryImage(line_size=128)
+        assert image.word_offset_in_line(0x1000) == 0
+        assert image.word_offset_in_line(0x1000 + 12) == 3
+        assert image.word_offset_in_line(0x1000 + 127) == 31
+
+
+@given(st.lists(st.tuples(st.integers(min_value=0, max_value=1023),
+                          st.integers(min_value=0, max_value=2 ** 31)),
+                min_size=1, max_size=100))
+def test_property_last_write_wins(writes):
+    """The image behaves as a word-addressable memory."""
+    image = MemoryImage()
+    reference = {}
+    for word_index, value in writes:
+        address = word_index * WORD_SIZE
+        image.write_word(address, value)
+        reference[word_index] = value
+    for word_index, value in reference.items():
+        assert image.read_word(word_index * WORD_SIZE) == value
+
+
+@given(st.dictionaries(st.integers(min_value=0, max_value=31),
+                       st.integers(min_value=0, max_value=1000),
+                       min_size=1))
+def test_property_line_roundtrip(payload):
+    """write_line . read_line is the identity on a line."""
+    image = MemoryImage(line_size=128)
+    image.write_line(0x8000, payload)
+    assert image.read_line(0x8000) == payload

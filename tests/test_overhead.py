@@ -1,0 +1,36 @@
+"""Tests for the §IV-E hardware-overhead accounting."""
+
+from repro.core.config import SystemConfig
+from repro.core.overhead import VA_BITS, compute_overhead
+from repro.vm.mmap import DIRECT_STORE_WINDOW_SIZE
+from repro.utils.bitops import log2_exact
+
+
+class TestOverheadReport:
+    def test_comparator_covers_high_order_bits(self):
+        report = compute_overhead(SystemConfig())
+        expected = VA_BITS - log2_exact(DIRECT_STORE_WINDOW_SIZE)
+        assert report.tlb_comparator_bits == expected
+        # "a logic gate", not an adder: a handful of bits
+        assert report.tlb_comparator_bits <= 16
+
+    def test_one_link_per_slice(self):
+        config = SystemConfig()
+        report = compute_overhead(config)
+        assert report.ds_network_links == config.gpu.l2_slices
+
+    def test_protocol_addition_is_small(self):
+        report = compute_overhead(SystemConfig())
+        # Fig. 3 adds remote-store rows; they must be a small fraction
+        # of the baseline table ("minimal" modification)
+        assert report.added_protocol_transitions == 10
+        assert (report.added_protocol_transitions
+                < 0.5 * report.baseline_protocol_transitions)
+
+    def test_no_new_states(self):
+        assert compute_overhead(SystemConfig()).added_stable_states == 0
+
+    def test_summary_renders(self):
+        text = compute_overhead(SystemConfig()).summary()
+        assert "comparator" in text
+        assert "Directory storage" in text

@@ -1,0 +1,95 @@
+"""Tests for the event-driven coherent port (MSHR merge / park / accept)."""
+
+from repro.coherence.hammer import CoherentAgent, HammerSystem
+from repro.coherence.port import CoherentPort
+from repro.engine.clock import ClockDomain
+from repro.engine.simulator import Simulator
+from repro.interconnect.network import Crossbar
+from repro.mem.cache import SetAssociativeCache
+from repro.mem.dram import DramConfig, DramModel
+from repro.mem.memimage import MemoryImage
+
+
+def build():
+    clock = ClockDomain("mem", 1e9)
+    network = Crossbar("net", clock, ["cpu", "memctrl"])
+    dram = DramModel(DramConfig(size_bytes=16 * 1024 * 1024))
+    system = HammerSystem(network, dram, MemoryImage(), clock)
+    agent = CoherentAgent("cpu", SetAssociativeCache("c", 8 * 1024, 4),
+                          clock, 10)
+    system.add_agent(agent)
+    sim = Simulator()
+    port = CoherentPort("cpu.port", "cpu", system, sim.queue, num_mshrs=2)
+    return system, sim, port
+
+
+class TestBasicCompletion:
+    def test_load_callback_fires(self):
+        _system, sim, port = build()
+        results = []
+        port.load(0x1000, results.append)
+        sim.run()
+        assert len(results) == 1
+        assert not results[0].hit
+
+    def test_hit_completes_quickly(self):
+        _system, sim, port = build()
+        results = []
+        port.load(0x1000, results.append)
+        sim.run()
+        port.load(0x1000, results.append)
+        sim.run()
+        assert results[1].hit
+
+    def test_store_value_lands(self):
+        system, sim, port = build()
+        done = []
+        port.store(0x2000, 42, done.append)
+        sim.run()
+        line = system.agents["cpu"].cache.probe(0x2000)
+        assert line.data[0] == 42
+
+
+class TestMerging:
+    def test_same_line_requests_merge(self):
+        system, sim, port = build()
+        results = []
+        port.load(0x1000, results.append)
+        port.load(0x1004, results.append)  # same line, still in flight
+        sim.run()
+        assert len(results) == 2
+        assert port.mshrs.stats.counter("merges").value == 1
+        # only one actual fetch happened
+        assert system.stats.counter("gets_requests").value == 1
+
+    def test_merged_request_sees_resident_line(self):
+        _system, sim, port = build()
+        results = []
+        port.load(0x1000, results.append)
+        port.load(0x1004, results.append)
+        sim.run()
+        assert results[1].hit  # replayed after the fill
+
+
+class TestParkOnFull:
+    def test_excess_requests_park_and_complete(self):
+        system, sim, port = build()  # 2 MSHRs
+        results = []
+        for index in range(5):
+            port.load(0x1000 + index * 128, results.append)
+        sim.run()
+        assert len(results) == 5
+        # each distinct line was fetched exactly once
+        assert system.stats.counter("gets_requests").value == 5
+
+    def test_acceptance_deferred_until_unparked(self):
+        _system, sim, port = build()
+        accepted = []
+        for index in range(4):
+            port.store(0x1000 + index * 128, index,
+                       lambda _r: None,
+                       on_accept=lambda index=index: accepted.append(index))
+        # nothing has run yet
+        assert accepted == []
+        sim.run()
+        assert sorted(accepted) == [0, 1, 2, 3]

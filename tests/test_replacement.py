@@ -1,0 +1,125 @@
+"""Unit + property tests for replacement policies."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.mem.replacement import (
+    FIFOReplacement,
+    LRUReplacement,
+    PseudoLRUReplacement,
+    RandomReplacement,
+    make_replacement_policy,
+)
+
+
+class TestLRU:
+    def test_victim_is_least_recent(self):
+        lru = LRUReplacement(1, 4)
+        for way in (0, 1, 2, 3):
+            lru.on_fill(0, way)
+        lru.on_access(0, 0)  # 0 becomes MRU
+        assert lru.victim_way(0) == 1
+
+    def test_fill_makes_mru(self):
+        lru = LRUReplacement(1, 2)
+        lru.on_fill(0, 0)
+        lru.on_fill(0, 1)
+        assert lru.victim_way(0) == 0
+
+    def test_sets_are_independent(self):
+        lru = LRUReplacement(2, 2)
+        lru.on_access(0, 1)
+        assert lru.victim_way(1) == 0
+
+    def test_invalidate_demotes(self):
+        lru = LRUReplacement(1, 4)
+        for way in (0, 1, 2, 3):
+            lru.on_fill(0, way)
+        lru.on_invalidate(0, 3)
+        assert lru.victim_way(0) == 3
+
+    @given(st.lists(st.integers(min_value=0, max_value=7), min_size=1,
+                    max_size=50))
+    def test_victim_never_most_recent(self, accesses):
+        lru = LRUReplacement(1, 8)
+        for way in accesses:
+            lru.on_access(0, way)
+        assert lru.victim_way(0) != accesses[-1]
+
+
+class TestPseudoLRU:
+    def test_requires_power_of_two_ways(self):
+        with pytest.raises(ValueError):
+            PseudoLRUReplacement(1, 6)
+
+    def test_single_way(self):
+        plru = PseudoLRUReplacement(1, 1)
+        assert plru.victim_way(0) == 0
+
+    def test_victim_avoids_just_touched(self):
+        plru = PseudoLRUReplacement(1, 4)
+        for way in range(4):
+            plru.on_access(0, way)
+        assert plru.victim_way(0) != 3
+
+    @given(st.lists(st.integers(min_value=0, max_value=7), min_size=1,
+                    max_size=60))
+    def test_victim_never_last_touched(self, accesses):
+        plru = PseudoLRUReplacement(1, 8)
+        for way in accesses:
+            plru.on_access(0, way)
+        assert plru.victim_way(0) != accesses[-1]
+
+    def test_matches_lru_for_two_ways(self):
+        # tree PLRU with 2 ways IS exact LRU
+        plru = PseudoLRUReplacement(1, 2)
+        lru = LRUReplacement(1, 2)
+        for way in (0, 1, 0, 1, 1, 0):
+            plru.on_access(0, way)
+            lru.on_access(0, way)
+        assert plru.victim_way(0) == lru.victim_way(0)
+
+
+class TestFIFO:
+    def test_evicts_in_fill_order(self):
+        fifo = FIFOReplacement(1, 3)
+        for way in (2, 0, 1):
+            fifo.on_fill(0, way)
+        assert fifo.victim_way(0) == 2
+
+    def test_hits_do_not_matter(self):
+        fifo = FIFOReplacement(1, 2)
+        fifo.on_fill(0, 0)
+        fifo.on_fill(0, 1)
+        fifo.on_access(0, 0)
+        assert fifo.victim_way(0) == 0
+
+
+class TestRandom:
+    def test_deterministic_with_seed(self):
+        a = RandomReplacement(1, 8, seed=3)
+        b = RandomReplacement(1, 8, seed=3)
+        assert [a.victim_way(0) for _ in range(20)] == \
+               [b.victim_way(0) for _ in range(20)]
+
+    def test_in_range(self):
+        policy = RandomReplacement(1, 4, seed=1)
+        for _ in range(50):
+            assert 0 <= policy.victim_way(0) < 4
+
+
+class TestFactory:
+    @pytest.mark.parametrize("name,cls", [
+        ("lru", LRUReplacement), ("plru", PseudoLRUReplacement),
+        ("fifo", FIFOReplacement), ("random", RandomReplacement)])
+    def test_builds_by_name(self, name, cls):
+        assert isinstance(make_replacement_policy(name, 2, 4), cls)
+
+    def test_case_insensitive(self):
+        assert isinstance(make_replacement_policy("LRU", 1, 2),
+                          LRUReplacement)
+
+    def test_unknown_rejected(self):
+        with pytest.raises(ValueError):
+            make_replacement_policy("mru", 1, 2)

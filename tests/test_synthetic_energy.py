@@ -1,0 +1,102 @@
+"""Tests for the synthetic design-space workload and the energy proxy."""
+
+import pytest
+
+from repro.core.energy import EnergyWeights, estimate_energy
+from repro.core.protocol_mode import CoherenceMode
+from repro.core.system import IntegratedSystem
+from repro.workloads.synthetic import (
+    SyntheticProducerConsumer,
+    SyntheticSpec,
+)
+
+
+def run(config, spec, mode):
+    system = IntegratedSystem(config, mode)
+    return system.run(SyntheticProducerConsumer(spec))
+
+
+def speedup(config, spec):
+    ccsm = run(config, spec, CoherenceMode.CCSM)
+    ds = run(config, spec, CoherenceMode.DIRECT_STORE)
+    return ds.speedup_over(ccsm)
+
+
+class TestSpecValidation:
+    def test_bad_fraction(self):
+        with pytest.raises(ValueError):
+            SyntheticSpec(producer_fraction=1.5).validate()
+
+    def test_bad_footprint(self):
+        with pytest.raises(ValueError):
+            SyntheticSpec(footprint_bytes=0).validate()
+
+    def test_bad_reuse(self):
+        with pytest.raises(ValueError):
+            SyntheticSpec(reuse=0).validate()
+
+    def test_shmem_sets_shared_flag(self):
+        workload = SyntheticProducerConsumer(
+            SyntheticSpec(shmem_per_line=8))
+        assert workload.uses_shared_memory
+
+
+class TestDesignSpaceLaws:
+    """The qualitative laws the paper's evaluation is built on."""
+
+    BASE = dict(footprint_bytes=64 * 1024, gen_cycles=6, warps_per_sm=2)
+
+    def test_streaming_producer_consumer_benefits(self, tiny_config):
+        assert speedup(tiny_config, SyntheticSpec(**self.BASE)) > 1.02
+
+    def test_no_producer_no_benefit(self, tiny_config):
+        """producer_fraction=0 is the PT case: nothing to forward."""
+        spec = SyntheticSpec(producer_fraction=0.0, **self.BASE)
+        assert speedup(tiny_config, spec) == pytest.approx(1.0, abs=0.02)
+
+    def test_reuse_dilutes_benefit(self, tiny_config):
+        once = speedup(tiny_config, SyntheticSpec(reuse=1, **self.BASE))
+        often = speedup(tiny_config, SyntheticSpec(reuse=6, **self.BASE))
+        assert often < once
+
+    def test_compute_dilutes_benefit(self, tiny_config):
+        lean = speedup(tiny_config,
+                       SyntheticSpec(compute_per_line=0, **self.BASE))
+        heavy = speedup(tiny_config,
+                        SyntheticSpec(compute_per_line=60, **self.BASE))
+        assert heavy < lean
+
+
+class TestEnergyProxy:
+    def test_components_populated(self, tiny_config):
+        result = run(tiny_config, SyntheticSpec(**TestDesignSpaceLaws.BASE),
+                     CoherenceMode.DIRECT_STORE)
+        breakdown = estimate_energy(result)
+        assert breakdown.total_pj > 0
+        assert breakdown.components["ds_network"] > 0
+        assert breakdown.components["tlb_detector"] > 0
+
+    def test_ds_spends_less_network_energy(self, tiny_config):
+        spec = SyntheticSpec(**TestDesignSpaceLaws.BASE)
+        ccsm = estimate_energy(run(tiny_config, spec, CoherenceMode.CCSM))
+        ds = estimate_energy(
+            run(tiny_config, spec, CoherenceMode.DIRECT_STORE))
+        ccsm_wires = ccsm.components["network"]
+        ds_wires = ds.components["network"] + ds.components["ds_network"]
+        assert ds_wires < ccsm_wires
+
+    def test_weights_scale_linearly(self, tiny_config):
+        spec = SyntheticSpec(**TestDesignSpaceLaws.BASE)
+        result = run(tiny_config, spec, CoherenceMode.CCSM)
+        single = estimate_energy(result, EnergyWeights())
+        double = estimate_energy(result, EnergyWeights(
+            l1_access_pj=20.0, l2_access_pj=80.0, dram_read_pj=4000.0,
+            dram_write_pj=4000.0, network_byte_pj=2.0,
+            ds_network_byte_pj=1.2, detector_pj=0.1))
+        assert double.total_pj == pytest.approx(2 * single.total_pj)
+
+    def test_summary_renders(self, tiny_config):
+        result = run(tiny_config, SyntheticSpec(**TestDesignSpaceLaws.BASE),
+                     CoherenceMode.CCSM)
+        text = estimate_energy(result).summary()
+        assert "total" in text and "uJ" in text

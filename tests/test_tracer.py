@@ -1,0 +1,95 @@
+"""Tests for the protocol tracer."""
+
+import pytest
+
+from repro.coherence.tracer import ProtocolTracer, TransitionEvent
+from tests.test_hammer import GPU, build_system
+
+
+def traced_system():
+    system = build_system()
+    tracer = ProtocolTracer()
+    system.tracer = tracer
+    return system, tracer
+
+
+class TestTracerMechanics:
+    def test_capacity_bound(self):
+        tracer = ProtocolTracer(capacity=2)
+        for index in range(5):
+            tracer.record(index, "a", 0, "Load", "I", "S")
+        assert len(tracer) == 2
+        assert tracer.dropped == 3
+        assert "dropped" in tracer.format()
+
+    def test_invalid_capacity(self):
+        with pytest.raises(ValueError):
+            ProtocolTracer(capacity=0)
+
+    def test_clear(self):
+        tracer = ProtocolTracer()
+        tracer.record(0, "a", 0, "Load", "I", "S")
+        tracer.clear()
+        assert len(tracer) == 0
+
+    def test_event_rendering(self):
+        event = TransitionEvent(100, "cpu", 0x1000, "Store", "I", "MM")
+        text = str(event)
+        assert "cpu" in text and "MM" in text and "0x00001000" in text
+
+
+class TestTracedTransitions:
+    def test_fill_traced(self):
+        system, tracer = traced_system()
+        system.load("cpu", 0x1000, 0)
+        fills = tracer.matching(lambda e: e.event == "Load(fill)")
+        assert len(fills) == 1
+        assert fills[0].old_state == "I" and fills[0].new_state == "M"
+
+    def test_remote_store_trace_sequence(self):
+        system, tracer = traced_system()
+        system.remote_store("cpu", GPU, 0x2000, 5, 0)
+        arrive = tracer.matching(
+            lambda e: e.event == "RemoteStoreArrive")
+        assert arrive[0].agent == GPU
+        assert arrive[0].old_state == "I"
+        assert arrive[0].new_state == "MM"
+
+    def test_probe_demotion_traced(self):
+        system, tracer = traced_system()
+        t = system.store("cpu", 0x3000, 1, 0).ready_tick
+        system.load(GPU, 0x3000, t)
+        demotions = tracer.matching(lambda e: e.event == "ProbeGETS")
+        assert demotions[0].agent == "cpu"
+        assert demotions[0].old_state == "MM"
+        assert demotions[0].new_state == "O"
+
+    def test_state_history_for_line(self):
+        system, tracer = traced_system()
+        t = system.store("cpu", 0x3000, 1, 0).ready_tick   # I -> MM
+        t = system.load(GPU, 0x3000, t).ready_tick         # cpu MM -> O
+        history = tracer.state_history("cpu", 0x3000)
+        assert history == ["I", "MM", "O"]
+
+    def test_silent_upgrade_traced(self):
+        system, tracer = traced_system()
+        t = system.load("cpu", 0x1000, 0).ready_tick       # fills M
+        system.store("cpu", 0x1000, 2, t)                  # silent M->MM
+        upgrades = tracer.matching(lambda e: e.event == "Store(silent)")
+        assert upgrades[0].old_state == "M"
+        assert upgrades[0].new_state == "MM"
+
+    def test_for_line_and_for_agent_filters(self):
+        system, tracer = traced_system()
+        system.store("cpu", 0x1000, 1, 0)
+        system.store("cpu", 0x2000, 2, 10 ** 6)
+        assert all(e.line_address == 0x1000
+                   for e in tracer.for_line(0x1000))
+        assert all(e.agent == "cpu" for e in tracer.for_agent("cpu"))
+
+    def test_tracer_never_affects_timing(self):
+        plain = build_system()
+        traced, _tracer = traced_system()
+        t1 = plain.store("cpu", 0x1000, 1, 0).ready_tick
+        t2 = traced.store("cpu", 0x1000, 1, 0).ready_tick
+        assert t1 == t2
