@@ -21,9 +21,11 @@ from typing import List, Optional
 from repro.core.config import SystemConfig
 from repro.core.protocol_mode import CoherenceMode
 from repro.harness.experiments import figure4, figure5
+from repro.harness.parallel import compare_many
 from repro.harness.reporting import ascii_bar_chart, format_table
-from repro.harness.runner import compare_modes, run_benchmark
+from repro.harness.runner import run_benchmark
 from repro.harness.sweep import sweep_config
+from repro.harness.resultcache import default_cache
 from repro.workloads.suite import TABLE2, benchmark_codes
 
 MODES = {mode.value: mode for mode in CoherenceMode}
@@ -32,6 +34,25 @@ MODES = {mode.value: mode for mode in CoherenceMode}
 def _add_common(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--input-size", choices=("small", "big"),
                         default="small")
+
+
+def _add_execution(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--jobs", "-j", type=int, default=None,
+        help="worker processes (default: REPRO_JOBS or all cores)")
+    parser.add_argument(
+        "--no-cache", action="store_true",
+        help="neither read nor write the persistent result cache")
+    parser.add_argument(
+        "--cache-dir", default=None,
+        help="result cache directory (default: REPRO_CACHE_DIR "
+             "or .repro_cache)")
+
+
+def _cache_for(args):
+    if args.no_cache:
+        return None
+    return default_cache(args.cache_dir)
 
 
 def _parser() -> argparse.ArgumentParser:
@@ -49,13 +70,16 @@ def _parser() -> argparse.ArgumentParser:
     compare = sub.add_parser("compare", help="CCSM vs direct store")
     compare.add_argument("code")
     _add_common(compare)
+    _add_execution(compare)
 
     fig4 = sub.add_parser("figure4", help="regenerate Fig. 4")
     _add_common(fig4)
+    _add_execution(fig4)
     fig4.add_argument("--codes", nargs="*", default=None)
 
     fig5 = sub.add_parser("figure5", help="regenerate Fig. 5")
     _add_common(fig5)
+    _add_execution(fig5)
     fig5.add_argument("--codes", nargs="*", default=None)
 
     sub.add_parser("table1", help="print the system configuration")
@@ -72,6 +96,7 @@ def _parser() -> argparse.ArgumentParser:
                                         "l2-size"))
     sweep.add_argument("code", nargs="?", default="VA")
     _add_common(sweep)
+    _add_execution(sweep)
     return parser
 
 
@@ -92,7 +117,8 @@ def _cmd_run(args) -> int:
 
 
 def _cmd_compare(args) -> int:
-    comparison = compare_modes(args.code, args.input_size)
+    comparison = compare_many([args.code], args.input_size,
+                              jobs=args.jobs, cache=_cache_for(args))[0]
     print(format_table(
         ["Metric", "CCSM", "Direct store"],
         [("total ticks", f"{comparison.ccsm.total_ticks:,}",
@@ -108,7 +134,8 @@ def _cmd_compare(args) -> int:
 
 def _cmd_figure4(args) -> int:
     rows = figure4(args.input_size, codes=args.codes,
-                   progress=lambda code: print(f"  running {code}...",
+                   jobs=args.jobs, cache=_cache_for(args),
+                   progress=lambda code: print(f"  finished {code}",
                                                file=sys.stderr))
     print(f"FIG. 4 — speedup, {args.input_size} inputs")
     print(ascii_bar_chart(
@@ -122,7 +149,8 @@ def _cmd_figure4(args) -> int:
 
 def _cmd_figure5(args) -> int:
     rows = figure5(args.input_size, codes=args.codes,
-                   progress=lambda code: print(f"  running {code}...",
+                   jobs=args.jobs, cache=_cache_for(args),
+                   progress=lambda code: print(f"  finished {code}",
                                                file=sys.stderr))
     print(f"FIG. 5 — GPU L2 miss rate, {args.input_size} inputs")
     print(format_table(
@@ -179,7 +207,8 @@ def _cmd_sweep(args) -> int:
         values = [mib // 4, mib // 2, mib, 2 * mib, 4 * mib]
         apply = lambda cfg, v: setattr(cfg.gpu, "l2_size", v)
     points = sweep_config(args.code, args.input_size, values, apply,
-                          label=args.what)
+                          label=args.what, jobs=args.jobs,
+                          cache=_cache_for(args))
     print(format_table(
         [args.what, "Speedup", "DS miss rate"],
         [(point.value, f"{(point.speedup - 1) * 100:+.1f}%",
@@ -206,7 +235,11 @@ def main(argv: Optional[List[str]] = None) -> int:
             print(f"unknown benchmark {args.code!r}; choose from "
                   f"{', '.join(benchmark_codes())}", file=sys.stderr)
             return 2
-    return _COMMANDS[args.command](args)
+    try:
+        return _COMMANDS[args.command](args)
+    except ValueError as exc:  # e.g. a malformed REPRO_JOBS value
+        print(f"repro {args.command}: error: {exc}", file=sys.stderr)
+        return 2
 
 
 if __name__ == "__main__":

@@ -38,13 +38,18 @@ class CoherentPort:
         self.queue = queue
         self.mshrs = MSHRFile(f"{name}.mshr", num_mshrs)
         self._line_size = engine.line_size
+        self._line_mask = ~(engine.line_size - 1)
+        # event labels, precomputed off the per-request path
+        self._name_hit = f"{name}.hit"
+        self._name_fill = f"{name}.fill"
+        self._name_accept = f"{name}.accept"
         #: requests stalled on a full MSHR file, drained in FIFO order
         #: when entries retire (no polling — a full file would otherwise
         #: cause a retry storm under heavy fan-in)
         self._waiting: "deque" = deque()
 
     def _line(self, address: int) -> int:
-        return address & ~(self._line_size - 1)
+        return address & self._line_mask
 
     def load(self, address: int, callback: Callback) -> None:
         """Issue a coherent load; *callback* fires at completion."""
@@ -92,7 +97,7 @@ class CoherentPort:
             # no fill in flight; deliver at the access's ready tick
             self.queue.schedule_at(
                 result.ready_tick, lambda: callback(result),
-                name=f"{self.name}.hit")
+                name=self._name_hit)
             return
 
         entry = self.mshrs.allocate(line_address, now, is_write=is_store)
@@ -106,7 +111,7 @@ class CoherentPort:
             self._drain_waiting()
 
         self.queue.schedule_at(result.ready_tick, _complete,
-                               name=f"{self.name}.fill")
+                               name=self._name_fill)
 
     def _accept(self, on_accept: Optional[Callable[[], None]]) -> None:
         """Fire an acceptance callback on a fresh event.
@@ -117,7 +122,7 @@ class CoherentPort:
         """
         if on_accept is not None:
             self.queue.schedule_after(0, on_accept,
-                                      name=f"{self.name}.accept")
+                                      name=self._name_accept)
 
     def _drain_waiting(self) -> None:
         """Re-issue parked requests now that MSHR space freed up."""

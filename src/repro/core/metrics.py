@@ -29,6 +29,26 @@ class CacheSnapshot:
             return 0.0
         return self.misses / self.accesses
 
+    def to_dict(self) -> Dict[str, int]:
+        """JSON-friendly form; inverse of :meth:`from_dict`."""
+        return {
+            "accesses": self.accesses,
+            "hits": self.hits,
+            "misses": self.misses,
+            "compulsory_misses": self.compulsory_misses,
+            "evictions": self.evictions,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, int]) -> "CacheSnapshot":
+        return cls(
+            accesses=payload["accesses"],
+            hits=payload["hits"],
+            misses=payload["misses"],
+            compulsory_misses=payload["compulsory_misses"],
+            evictions=payload["evictions"],
+        )
+
 
 @dataclass
 class RunResult:
@@ -69,6 +89,54 @@ class RunResult:
         if self.total_ticks == 0:
             raise ValueError("run finished at tick 0; nothing executed")
         return baseline.total_ticks / self.total_ticks
+
+    def to_dict(self) -> Dict:
+        """Lossless JSON-friendly form; inverse of :meth:`from_dict`.
+
+        The persistent result cache round-trips runs through this, so
+        every field — including the flat ``stats`` dump — must survive.
+        """
+        return {
+            "workload": self.workload,
+            "mode": self.mode,
+            "total_ticks": self.total_ticks,
+            "gpu_l2": self.gpu_l2.to_dict(),
+            "gpu_l1": self.gpu_l1.to_dict(),
+            "cpu_l1d": self.cpu_l1d.to_dict(),
+            "cpu_l2": self.cpu_l2.to_dict(),
+            "network_messages": self.network_messages,
+            "network_bytes": self.network_bytes,
+            "ds_messages": self.ds_messages,
+            "ds_forwarded_stores": self.ds_forwarded_stores,
+            "dram_reads": self.dram_reads,
+            "dram_writes": self.dram_writes,
+            "cpu_loads": self.cpu_loads,
+            "cpu_stores": self.cpu_stores,
+            "events_fired": self.events_fired,
+            "stats": dict(self.stats),
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Dict) -> "RunResult":
+        return cls(
+            workload=payload["workload"],
+            mode=payload["mode"],
+            total_ticks=payload["total_ticks"],
+            gpu_l2=CacheSnapshot.from_dict(payload["gpu_l2"]),
+            gpu_l1=CacheSnapshot.from_dict(payload["gpu_l1"]),
+            cpu_l1d=CacheSnapshot.from_dict(payload["cpu_l1d"]),
+            cpu_l2=CacheSnapshot.from_dict(payload["cpu_l2"]),
+            network_messages=payload["network_messages"],
+            network_bytes=payload["network_bytes"],
+            ds_messages=payload["ds_messages"],
+            ds_forwarded_stores=payload["ds_forwarded_stores"],
+            dram_reads=payload["dram_reads"],
+            dram_writes=payload["dram_writes"],
+            cpu_loads=payload["cpu_loads"],
+            cpu_stores=payload["cpu_stores"],
+            events_fired=payload["events_fired"],
+            stats=dict(payload["stats"]),
+        )
 
     def summary(self) -> str:
         """One-paragraph human-readable digest."""

@@ -30,10 +30,10 @@ from repro.gpu.gpu import GpuDevice
 from repro.gpu.sm import StreamingMultiprocessor
 from repro.interconnect.direct_network import DirectStoreNetwork
 from repro.interconnect.network import Crossbar
-from repro.mem.address import slice_for_line
 from repro.mem.cache import SetAssociativeCache
 from repro.mem.dram import DramModel
 from repro.mem.memimage import MemoryImage
+from repro.utils.bitops import is_power_of_two, log2_exact
 from repro.vm.mmap import MmapAllocator
 from repro.vm.mmu import MMU
 from repro.vm.pagetable import PageTable, PhysicalFrameAllocator
@@ -72,6 +72,12 @@ class IntegratedSystem:
         # --- interconnect ------------------------------------------------
         self.slice_names = [f"gpu.l2.slice{i}"
                             for i in range(cfg.gpu.l2_slices)]
+        # shift/mask form of slice_for_line for the per-access helpers
+        self._line_bits = log2_exact(cfg.line_size)
+        if not is_power_of_two(cfg.gpu.l2_slices):
+            raise ValueError(
+                f"slice count must be a power of two: {cfg.gpu.l2_slices}")
+        self._slice_mask = cfg.gpu.l2_slices - 1
         self.network = Crossbar(
             "xbar", self.mem_clock, ["cpu", *self.slice_names, MEMCTRL],
             hop_latency_cycles=cfg.network.hop_latency_cycles,
@@ -188,17 +194,16 @@ class IntegratedSystem:
     # ------------------------------------------------------------------
 
     def _slice_for(self, line_address: int) -> str:
-        index = slice_for_line(line_address, self.config.line_size,
-                               self.config.gpu.l2_slices)
-        return self.slice_names[index]
+        # inlined slice_for_line: this runs once per memory access
+        return self.slice_names[
+            (line_address >> self._line_bits) & self._slice_mask]
 
     def _slice_predicate(self, index: int):
-        line_size = self.config.line_size
-        num_slices = self.config.gpu.l2_slices
+        line_bits = self._line_bits
+        slice_mask = self._slice_mask
 
         def _may_cache(line_address: int) -> bool:
-            return slice_for_line(line_address, line_size,
-                                  num_slices) == index
+            return ((line_address >> line_bits) & slice_mask) == index
 
         return _may_cache
 

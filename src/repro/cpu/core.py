@@ -44,6 +44,12 @@ class CpuCore:
         self.store_buffer = WriteBuffer(f"{name}.sb", store_buffer_entries)
         self.max_outstanding_drains = max_outstanding_drains
         self.stats = StatsRegistry(name)
+        # event labels, precomputed off the issue path
+        self._name_start = f"{name}.start"
+        self._name_compute = f"{name}.compute"
+        self._name_stlf = f"{name}.stlf"
+        self._name_retire = f"{name}.retire"
+        self._name_unstall = f"{name}.unstall"
         self._ops_executed = self.stats.counter("ops_executed")
         self._load_latency = self.stats.histogram(
             "load_latency_ticks", [1000, 5000, 20000, 100000, 500000])
@@ -70,7 +76,7 @@ class CpuCore:
         self._on_done = on_done
         self._running = True
         self.queue.schedule_after(0, self._issue_next,
-                                  name=f"{self.name}.start")
+                                  name=self._name_start)
 
     # ------------------------------------------------------------------
 
@@ -85,7 +91,7 @@ class CpuCore:
             self._ops_executed.increment()
             self.queue.schedule_after(
                 self.clock.cycles_to_ticks(max(1, op.cycles)),
-                self._issue_next, name=f"{self.name}.compute")
+                self._issue_next, name=self._name_compute)
             return
         if op.kind is OpKind.LOAD:
             self._ops_executed.increment()
@@ -102,7 +108,7 @@ class CpuCore:
             # store-to-load forwarding: one-cycle bypass
             self.queue.schedule_after(self.clock.cycles_to_ticks(1),
                                       self._issue_next,
-                                      name=f"{self.name}.stlf")
+                                      name=self._name_stlf)
             return
         issue_tick = self.queue.current_tick
         translation = self.mmu.translate(op.address, is_store=False)
@@ -126,7 +132,7 @@ class CpuCore:
         # cost the trace attached to it (op.cycles)
         self.queue.schedule_after(
             self.clock.cycles_to_ticks(1 + max(0, op.cycles)),
-            self._issue_next, name=f"{self.name}.retire")
+            self._issue_next, name=self._name_retire)
 
     # ------------------------------------------------------------------
     # drain engine
@@ -163,7 +169,7 @@ class CpuCore:
         if self._stalled_on_store is not None:
             self._stalled_on_store = None
             self.queue.schedule_after(0, self._issue_next,
-                                      name=f"{self.name}.unstall")
+                                      name=self._name_unstall)
 
     def _store_complete(self, _result) -> None:
         """The store is globally performed (fill/forward finished)."""

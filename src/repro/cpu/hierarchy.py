@@ -53,6 +53,13 @@ class CpuMemorySubsystem:
         #: hybrid); with it off the TLB signal is ignored (pure CCSM).
         self.forward_enabled = forward_enabled
         self.stats = StatsRegistry(name)
+        # event labels, precomputed off the access path
+        self._name_uncached = f"{name}.uncached"
+        self._name_l1hit = f"{name}.l1hit"
+        self._name_fwd_accept = f"{name}.fwd_accept"
+        self._name_forward = f"{name}.forward"
+        self._name_st_accept = f"{name}.st_accept"
+        self._name_st_l1hit = f"{name}.st_l1hit"
         self._loads = self.stats.counter("loads")
         self._stores = self.stats.counter("stores")
         self._forwarded = self.stats.counter(
@@ -106,7 +113,7 @@ class CpuMemorySubsystem:
                 now + self._l1_ticks(translation.walk_cycles))
             self.queue.schedule_at(result.ready_tick,
                                    lambda: callback(result),
-                                   name=f"{self.name}.uncached")
+                                   name=self._name_uncached)
             return
         t_l1 = now + self._l1_ticks(translation.walk_cycles)
         line = self.l1d.lookup(translation.physical_address)
@@ -118,7 +125,7 @@ class CpuMemorySubsystem:
                 word = line.data.get(offset, 0)
             result = AccessResult(t_l1, word, True, "local")
             self.queue.schedule_at(t_l1, lambda: callback(result),
-                                   name=f"{self.name}.l1hit")
+                                   name=self._name_l1hit)
             return
 
         def _on_fill(result: AccessResult) -> None:
@@ -180,10 +187,10 @@ class CpuMemorySubsystem:
                                   - dst_agent.tag_ticks
                                   - self._ds_latency_ticks())
                 self.queue.schedule_at(accept_tick, on_accept,
-                                       name=f"{self.name}.fwd_accept")
+                                       name=self._name_fwd_accept)
             self.queue.schedule_at(result.ready_tick,
                                    lambda: callback(result),
-                                   name=f"{self.name}.forward")
+                                   name=self._name_forward)
             return
         # write-back, write-allocate: a hit retires in the L1
         t_l1 = now + self._l1_ticks(translation.walk_cycles)
@@ -199,9 +206,9 @@ class CpuMemorySubsystem:
             result = AccessResult(t_l1, value, True, "local")
             if on_accept is not None:
                 self.queue.schedule_at(t_l1, on_accept,
-                                       name=f"{self.name}.st_accept")
+                                       name=self._name_st_accept)
             self.queue.schedule_at(t_l1, lambda: callback(result),
-                                   name=f"{self.name}.st_l1hit")
+                                   name=self._name_st_l1hit)
             return
 
         def _on_filled(result: AccessResult) -> None:

@@ -4,13 +4,25 @@ Every state change in the simulated machine happens inside an event
 callback.  Events fire in tick order; events scheduled for the same tick
 fire in scheduling order (a monotonic sequence number breaks ties), which
 makes whole-system runs bit-for-bit reproducible.
+
+The queue is the hottest structure in the simulator (every memory
+access schedules several events), so the implementation favours flat
+attribute access and module-level heap functions over abstraction:
+``schedule_after`` pushes directly instead of delegating, and the queue
+keeps an O(1) live-event count so ``__len__``/``__bool__`` never scan.
+Cancelled events are lazily discarded on pop, but when they outnumber
+the live ones the heap is compacted so pathological cancel-heavy
+components cannot grow it without bound.
 """
 
 from __future__ import annotations
 
-import heapq
-import itertools
+from heapq import heapify, heappop, heappush
+from itertools import count
 from typing import Callable, List, Optional, Tuple
+
+#: compaction below this many dead entries is not worth the heapify
+_COMPACT_MIN_DEAD = 64
 
 
 class Event:
@@ -22,7 +34,7 @@ class Event:
         name: optional label used in debug traces.
     """
 
-    __slots__ = ("tick", "callback", "name", "cancelled", "_seq")
+    __slots__ = ("tick", "callback", "name", "cancelled", "_seq", "_queue")
 
     def __init__(self, tick: int, callback: Callable[[], None],
                  name: str = "") -> None:
@@ -33,10 +45,15 @@ class Event:
         self.name = name
         self.cancelled = False
         self._seq = -1  # assigned by the queue
+        self._queue: Optional["EventQueue"] = None
 
     def cancel(self) -> None:
         """Mark the event dead; the queue discards it instead of firing it."""
+        if self.cancelled:
+            return
         self.cancelled = True
+        if self._queue is not None:
+            self._queue._note_cancel()
 
     def __repr__(self) -> str:
         label = self.name or getattr(self.callback, "__name__", "callback")
@@ -48,8 +65,10 @@ class EventQueue:
 
     def __init__(self) -> None:
         self._heap: List[Tuple[int, int, Event]] = []
-        self._sequence = itertools.count()
+        self._sequence = count()
         self.current_tick = 0
+        self._live = 0
+        self._dead = 0
 
     def schedule(self, event: Event) -> Event:
         """Insert *event*; it must not be scheduled in the past."""
@@ -58,20 +77,44 @@ class EventQueue:
                 f"cannot schedule {event!r} in the past "
                 f"(now={self.current_tick})")
         event._seq = next(self._sequence)
-        heapq.heappush(self._heap, (event.tick, event._seq, event))
+        event._queue = self
+        if event.cancelled:
+            self._dead += 1
+        else:
+            self._live += 1
+        heappush(self._heap, (event.tick, event._seq, event))
         return event
 
     def schedule_at(self, tick: int, callback: Callable[[], None],
                     name: str = "") -> Event:
         """Convenience wrapper: build and schedule an event in one call."""
-        return self.schedule(Event(tick, callback, name))
+        if tick < self.current_tick:
+            raise ValueError(
+                f"cannot schedule tick {tick} in the past "
+                f"(now={self.current_tick})")
+        event = Event(tick, callback, name)
+        event._seq = next(self._sequence)
+        event._queue = self
+        self._live += 1
+        heappush(self._heap, (tick, event._seq, event))
+        return event
 
     def schedule_after(self, delay: int, callback: Callable[[], None],
                        name: str = "") -> Event:
-        """Schedule *callback* to run *delay* ticks from now."""
+        """Schedule *callback* to run *delay* ticks from now.
+
+        This is the hot scheduling path (ports, links, and pipelines all
+        schedule relative to now), so it pushes directly: a non-negative
+        delay can never land in the past, making the past-check redundant.
+        """
         if delay < 0:
             raise ValueError(f"negative delay {delay}")
-        return self.schedule_at(self.current_tick + delay, callback, name)
+        event = Event(self.current_tick + delay, callback, name)
+        event._seq = next(self._sequence)
+        event._queue = self
+        self._live += 1
+        heappush(self._heap, (event.tick, event._seq, event))
+        return event
 
     def pop(self) -> Optional[Event]:
         """Remove and return the next live event, advancing the clock.
@@ -79,24 +122,46 @@ class EventQueue:
         Returns ``None`` when the queue is empty.  Cancelled events are
         silently discarded.
         """
-        while self._heap:
-            tick, _seq, event = heapq.heappop(self._heap)
+        heap = self._heap
+        while heap:
+            tick, _seq, event = heappop(heap)
             if event.cancelled:
+                self._dead -= 1
                 continue
+            self._live -= 1
+            # detach so a late cancel() of a fired event cannot skew the
+            # live count
+            event._queue = None
             self.current_tick = tick
             return event
         return None
 
     def peek_tick(self) -> Optional[int]:
         """Tick of the next live event, or ``None`` if the queue is empty."""
-        while self._heap and self._heap[0][2].cancelled:
-            heapq.heappop(self._heap)
-        if not self._heap:
+        heap = self._heap
+        while heap and heap[0][2].cancelled:
+            heappop(heap)
+            self._dead -= 1
+        if not heap:
             return None
-        return self._heap[0][0]
+        return heap[0][0]
+
+    def _note_cancel(self) -> None:
+        """A scheduled event was cancelled; compact if the dead dominate."""
+        self._live -= 1
+        self._dead += 1
+        if self._dead > _COMPACT_MIN_DEAD and self._dead > self._live:
+            self._compact()
+
+    def _compact(self) -> None:
+        """Drop every cancelled entry and re-heapify the survivors."""
+        self._heap = [entry for entry in self._heap
+                      if not entry[2].cancelled]
+        heapify(self._heap)
+        self._dead = 0
 
     def __len__(self) -> int:
-        return sum(1 for _, _, event in self._heap if not event.cancelled)
+        return self._live
 
     def __bool__(self) -> bool:
-        return self.peek_tick() is not None
+        return self._live > 0

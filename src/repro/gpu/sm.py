@@ -69,6 +69,9 @@ class StreamingMultiprocessor:
         #: (virtual_address, value) pairs observed by loads, for oracles
         self.loaded_values: List[Tuple[int, Optional[int]]] = []
         self.stats = StatsRegistry(name)
+        # event labels, precomputed off the issue path
+        self._name_empty = f"{name}.empty"
+        self._name_issue = f"{name}.issue"
         self._issued = self.stats.counter("warp_ops_issued")
         self._load_latency = self.stats.histogram(
             "load_latency_ticks", [1000, 5000, 20000, 100000, 500000])
@@ -95,7 +98,7 @@ class StreamingMultiprocessor:
         self._active = True
         if all(warp.done for warp in self._warps):
             self.queue.schedule_after(0, self._maybe_finish,
-                                      name=f"{self.name}.empty")
+                                      name=self._name_empty)
             return
         self._schedule_issue()
 
@@ -122,7 +125,7 @@ class StreamingMultiprocessor:
                      self.queue.current_tick)
         self._issue_scheduled = True
         self.queue.schedule_at(target, self._issue,
-                               name=f"{self.name}.issue")
+                               name=self._name_issue)
 
     def _issue(self) -> None:
         self._issue_scheduled = False

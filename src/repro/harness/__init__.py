@@ -9,7 +9,15 @@ from repro.harness.experiments import (
     figure5,
     geomean_nonzero_speedup,
 )
+from repro.harness.parallel import (
+    ParallelRunner,
+    RunPoint,
+    WorkerError,
+    compare_many,
+    resolve_jobs,
+)
 from repro.harness.persist import load_results, save_comparisons
+from repro.harness.resultcache import ResultCache, default_cache, run_fingerprint
 from repro.harness.sweep import sweep_config
 
 __all__ = [
@@ -23,6 +31,14 @@ __all__ = [
     "figure4",
     "figure5",
     "geomean_nonzero_speedup",
+    "ParallelRunner",
+    "RunPoint",
+    "WorkerError",
+    "compare_many",
+    "resolve_jobs",
+    "ResultCache",
+    "default_cache",
+    "run_fingerprint",
     "sweep_config",
     "load_results",
     "save_comparisons",

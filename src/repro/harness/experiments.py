@@ -16,7 +16,9 @@ from dataclasses import dataclass
 from typing import Callable, List, Optional
 
 from repro.core.config import SystemConfig
-from repro.harness.runner import BenchmarkComparison, compare_modes
+from repro.harness.parallel import compare_many
+from repro.harness.resultcache import ResultCache
+from repro.harness.runner import BenchmarkComparison
 from repro.utils.statistics import geometric_mean
 from repro.workloads.suite import benchmark_codes
 
@@ -56,36 +58,39 @@ class Fig5Row:
 def _comparisons(input_size: str, config: Optional[SystemConfig],
                  codes: Optional[List[str]],
                  progress: Optional[Callable[[str], None]],
+                 jobs: Optional[int] = None,
+                 cache: Optional[ResultCache] = None,
                  ) -> List[BenchmarkComparison]:
-    rows = []
-    for code in codes or benchmark_codes():
-        if progress is not None:
-            progress(code)
-        rows.append(compare_modes(code, input_size, config))
-    return rows
+    return compare_many(codes or benchmark_codes(), input_size,
+                        config=config, jobs=jobs, cache=cache,
+                        progress=progress)
 
 
 def figure4(input_size: str = "small",
             config: Optional[SystemConfig] = None,
             codes: Optional[List[str]] = None,
             progress: Optional[Callable[[str], None]] = None,
+            jobs: Optional[int] = None,
+            cache: Optional[ResultCache] = None,
             ) -> List[Fig4Row]:
     """Regenerate Fig. 4 (top for small, bottom for big inputs)."""
     return [Fig4Row(comparison.code, comparison.speedup)
             for comparison in _comparisons(input_size, config, codes,
-                                           progress)]
+                                           progress, jobs, cache)]
 
 
 def figure5(input_size: str = "small",
             config: Optional[SystemConfig] = None,
             codes: Optional[List[str]] = None,
             progress: Optional[Callable[[str], None]] = None,
+            jobs: Optional[int] = None,
+            cache: Optional[ResultCache] = None,
             ) -> List[Fig5Row]:
     """Regenerate Fig. 5 (GPU L2 miss rates, CCSM vs direct store)."""
     return [Fig5Row(comparison.code, comparison.ccsm_miss_rate,
                     comparison.ds_miss_rate)
             for comparison in _comparisons(input_size, config, codes,
-                                           progress)]
+                                           progress, jobs, cache)]
 
 
 def geomean_nonzero_speedup(rows: List[Fig4Row]) -> float:

@@ -1,0 +1,153 @@
+"""Content-addressed persistent cache of benchmark runs.
+
+Every simulation is deterministic: the same (configuration, benchmark,
+input size, mode) always produces the same :class:`RunResult`.  The
+cache exploits that by storing finished runs as JSON under a cache
+directory, keyed by a stable fingerprint of everything that influences
+the outcome.  A config tweak, a benchmark change, or a bump of
+:data:`CACHE_SCHEMA_VERSION` changes the fingerprint, so stale entries
+are never returned — they simply stop being addressed and the point is
+recomputed.
+
+Layout: one ``<fingerprint>.json`` file per run under the cache root
+(default ``.repro_cache/`` in the working directory, overridable with
+``REPRO_CACHE_DIR`` or the constructor).  Corrupted or truncated entry
+files are treated as misses and deleted.  ``REPRO_NO_CACHE=1``
+disables the default cache entirely.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import os
+from pathlib import Path
+from typing import Optional, Union
+
+from repro.core.config import SystemConfig
+from repro.core.metrics import RunResult
+from repro.core.protocol_mode import CoherenceMode
+
+#: bump when RunResult serialization or simulation semantics change in a
+#: way that invalidates previously stored runs
+CACHE_SCHEMA_VERSION = 1
+
+#: default cache directory, relative to the working directory
+DEFAULT_CACHE_DIR = ".repro_cache"
+
+#: environment overrides
+CACHE_DIR_ENV = "REPRO_CACHE_DIR"
+NO_CACHE_ENV = "REPRO_NO_CACHE"
+
+
+def config_fingerprint_payload(config: SystemConfig) -> dict:
+    """The configuration contents that feed the fingerprint."""
+    return dataclasses.asdict(config)
+
+
+def run_fingerprint(code: str, input_size: str, mode: CoherenceMode,
+                    config: SystemConfig) -> str:
+    """Stable hex fingerprint of one simulation point.
+
+    Any change to the configuration dataclasses (new fields included),
+    the benchmark identity, the mode, or the cache schema version yields
+    a different fingerprint.
+    """
+    payload = {
+        "schema_version": CACHE_SCHEMA_VERSION,
+        "code": code.upper(),
+        "input_size": input_size,
+        "mode": mode.value,
+        "config": config_fingerprint_payload(config),
+    }
+    canonical = json.dumps(payload, sort_keys=True, default=repr)
+    return hashlib.sha256(canonical.encode()).hexdigest()
+
+
+class ResultCache:
+    """On-disk store of :class:`RunResult` keyed by run fingerprint."""
+
+    def __init__(self, directory: Union[str, Path, None] = None) -> None:
+        if directory is None:
+            directory = os.environ.get(CACHE_DIR_ENV) or DEFAULT_CACHE_DIR
+        self.directory = Path(directory)
+        self.hits = 0
+        self.misses = 0
+
+    def _entry_path(self, fingerprint: str) -> Path:
+        return self.directory / f"{fingerprint}.json"
+
+    def get(self, code: str, input_size: str, mode: CoherenceMode,
+            config: SystemConfig) -> Optional[RunResult]:
+        """Return the cached run, or ``None`` on a miss.
+
+        A corrupted entry (bad JSON, missing fields, wrong schema) is
+        removed and reported as a miss.
+        """
+        path = self._entry_path(
+            run_fingerprint(code, input_size, mode, config))
+        try:
+            document = json.loads(path.read_text())
+            if document.get("schema_version") != CACHE_SCHEMA_VERSION:
+                raise ValueError("schema version mismatch")
+            result = RunResult.from_dict(document["result"])
+        except FileNotFoundError:
+            self.misses += 1
+            return None
+        except (ValueError, KeyError, TypeError, OSError):
+            self.misses += 1
+            path.unlink(missing_ok=True)
+            return None
+        self.hits += 1
+        return result
+
+    def put(self, code: str, input_size: str, mode: CoherenceMode,
+            config: SystemConfig, result: RunResult) -> Path:
+        """Store one finished run; returns the entry path."""
+        self.directory.mkdir(parents=True, exist_ok=True)
+        fingerprint = run_fingerprint(code, input_size, mode, config)
+        path = self._entry_path(fingerprint)
+        document = {
+            "schema_version": CACHE_SCHEMA_VERSION,
+            "fingerprint": fingerprint,
+            "code": code.upper(),
+            "input_size": input_size,
+            "mode": mode.value,
+            "result": result.to_dict(),
+        }
+        # write-then-rename so a crashed writer never leaves a torn entry
+        tmp = path.with_suffix(".tmp")
+        tmp.write_text(json.dumps(document))
+        tmp.replace(path)
+        return path
+
+    def clear(self) -> int:
+        """Delete every entry; returns the number removed."""
+        removed = 0
+        if self.directory.is_dir():
+            for entry in self.directory.glob("*.json"):
+                entry.unlink(missing_ok=True)
+                removed += 1
+        return removed
+
+    def __len__(self) -> int:
+        if not self.directory.is_dir():
+            return 0
+        return sum(1 for _ in self.directory.glob("*.json"))
+
+    def __repr__(self) -> str:
+        return (f"ResultCache({self.directory}, hits={self.hits}, "
+                f"misses={self.misses})")
+
+
+def default_cache(directory: Union[str, Path, None] = None,
+                  ) -> Optional[ResultCache]:
+    """The cache the harness uses unless told otherwise.
+
+    Returns ``None`` (caching disabled) when ``REPRO_NO_CACHE`` is set
+    to anything truthy.
+    """
+    if os.environ.get(NO_CACHE_ENV, "").strip() not in ("", "0"):
+        return None
+    return ResultCache(directory)

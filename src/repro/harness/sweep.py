@@ -4,11 +4,13 @@ from __future__ import annotations
 
 import copy
 from dataclasses import dataclass
-from typing import Callable, Iterable, List
+from typing import Callable, Iterable, List, Optional
 
 from repro.core.config import SystemConfig
 from repro.core.protocol_mode import CoherenceMode
-from repro.harness.runner import BenchmarkComparison, compare_modes
+from repro.harness.parallel import ParallelRunner, RunPoint
+from repro.harness.resultcache import ResultCache
+from repro.harness.runner import BenchmarkComparison
 
 
 @dataclass
@@ -28,17 +30,32 @@ def sweep_config(code: str, input_size: str, values: Iterable[object],
                  apply: Callable[[SystemConfig, object], None],
                  label: str = "value",
                  ds_mode: CoherenceMode = CoherenceMode.DIRECT_STORE,
+                 config: Optional[SystemConfig] = None,
+                 jobs: Optional[int] = None,
+                 cache: Optional[ResultCache] = None,
                  ) -> List[SweepPoint]:
     """Re-run a CCSM-vs-DS comparison across configuration *values*.
 
-    *apply(config, value)* mutates a fresh deep-copied config for each
-    point, e.g. ``lambda cfg, v: setattr(cfg.network, "ds_latency_cycles", v)``.
+    *apply(config, value)* mutates a per-point deep copy of *config*
+    (default: a fresh ``SystemConfig(track_values=False)``), e.g.
+    ``lambda cfg, v: setattr(cfg.network, "ds_latency_cycles", v)``.
+    All ``2 × len(values)`` runs fan out through one
+    :class:`ParallelRunner` batch.
     """
-    points = []
+    base = config or SystemConfig(track_values=False)
+    values = list(values)
+    points: List[RunPoint] = []
     for value in values:
-        config = copy.deepcopy(SystemConfig(track_values=False))
-        apply(config, value)
-        comparison = compare_modes(code, input_size, config,
-                                   ds_mode=ds_mode)
-        points.append(SweepPoint(f"{label}={value}", value, comparison))
-    return points
+        point_config = copy.deepcopy(base)
+        apply(point_config, value)
+        points.append(RunPoint(code, input_size, CoherenceMode.CCSM,
+                               point_config))
+        points.append(RunPoint(code, input_size, ds_mode, point_config))
+    results = ParallelRunner(jobs=jobs, cache=cache).run_points(points)
+    return [SweepPoint(
+        label=f"{label}={value}",
+        value=value,
+        comparison=BenchmarkComparison(
+            code=code.upper(), input_size=input_size,
+            ccsm=results[2 * i], direct_store=results[2 * i + 1]))
+        for i, value in enumerate(values)]

@@ -47,26 +47,34 @@ class AddressLayout:
         self.offset_bits = log2_exact(line_size)
         self.index_bits = log2_exact(num_sets)
         self._interleave_bits = log2_exact(interleave)
+        # precomputed shift/mask forms of the extraction arithmetic;
+        # callers on the per-access hot path (the cache array) read these
+        # directly instead of calling the methods below
+        self.offset_mask = line_size - 1
+        self.line_mask = ~self.offset_mask
+        self.index_mask = num_sets - 1
+        self.line_shift = self.offset_bits + self._interleave_bits
+        self.tag_shift = self.line_shift + self.index_bits
 
     def line_address(self, address: int) -> int:
         """Address of the first byte of the line containing *address*."""
-        return address & ~(self.line_size - 1)
+        return address & self.line_mask
 
     def offset(self, address: int) -> int:
         """Byte offset of *address* within its line."""
-        return address & (self.line_size - 1)
+        return address & self.offset_mask
 
     def _local_line(self, address: int) -> int:
         """Line number with the interleave (slice) bits stripped."""
-        return (address >> self.offset_bits) >> self._interleave_bits
+        return address >> self.line_shift
 
     def set_index(self, address: int) -> int:
         """Cache set that *address* maps to."""
-        return self._local_line(address) & (self.num_sets - 1)
+        return (address >> self.line_shift) & self.index_mask
 
     def tag(self, address: int) -> int:
         """Tag bits of *address* (everything above the index)."""
-        return self._local_line(address) >> self.index_bits
+        return address >> self.tag_shift
 
     def rebuild(self, tag: int, set_index: int) -> int:
         """Inverse of (:meth:`tag`, :meth:`set_index`): the line address."""

@@ -73,9 +73,10 @@ class SetAssociativeCache:
 
     def probe(self, address: int) -> Optional[CacheLine]:
         """Tag match with **no** side effects (no stats, no recency)."""
-        set_index = self.layout.set_index(address)
-        tag = self.layout.tag(address)
-        for line in self._sets[set_index]:
+        layout = self.layout
+        line_number = address >> layout.line_shift
+        tag = line_number >> layout.index_bits
+        for line in self._sets[line_number & layout.index_mask]:
             if line.valid and line.tag == tag:
                 return line
         return None
@@ -93,21 +94,22 @@ class SetAssociativeCache:
         issues a fill).  A miss on a never-before-seen line address is
         counted as compulsory.
         """
-        set_index = self.layout.set_index(address)
-        tag = self.layout.tag(address)
+        layout = self.layout
+        line_number = address >> layout.line_shift
+        set_index = line_number & layout.index_mask
+        tag = line_number >> layout.index_bits
         if record_stats:
-            self._accesses.increment()
+            self._accesses.value += 1
         for way, line in enumerate(self._sets[set_index]):
             if line.valid and line.tag == tag:
                 self.policy.on_access(set_index, way)
                 if record_stats:
-                    self._hits.increment()
+                    self._hits.value += 1
                 return line
         if record_stats:
-            self._misses.increment()
-            line_addr = self.layout.line_address(address)
-            if line_addr not in self._touched:
-                self._compulsory.increment()
+            self._misses.value += 1
+            if (address & layout.line_mask) not in self._touched:
+                self._compulsory.value += 1
         return None
 
     # ------------------------------------------------------------------
@@ -123,9 +125,11 @@ class SetAssociativeCache:
         had to be evicted, else ``None``.  The victim copy preserves
         state/dirty/data so the controller can write it back.
         """
-        set_index = self.layout.set_index(address)
-        tag = self.layout.tag(address)
-        line_addr = self.layout.line_address(address)
+        layout = self.layout
+        line_number = address >> layout.line_shift
+        set_index = line_number & layout.index_mask
+        tag = line_number >> layout.index_bits
+        line_addr = address & layout.line_mask
         cache_set = self._sets[set_index]
 
         victim: Optional[Tuple[int, CacheLine]] = None

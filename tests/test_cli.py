@@ -5,6 +5,12 @@ import pytest
 from repro.cli import main
 
 
+@pytest.fixture(autouse=True)
+def _isolated_cache(monkeypatch, tmp_path):
+    """Keep CLI invocations from touching the repo's .repro_cache/."""
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+
+
 class TestTableCommands:
     def test_table1(self, capsys):
         assert main(["table1"]) == 0

@@ -167,3 +167,75 @@ class TestSimulator:
         assert fired == [10]
         sim.run()
         assert fired == [10, 20]
+
+
+class TestEventQueueLiveCount:
+    """The queue keeps an O(1) live count and compacts dead entries."""
+
+    def test_len_is_tracked_not_scanned(self):
+        queue = EventQueue()
+        events = [queue.schedule_at(i, lambda: None) for i in range(10)]
+        assert len(queue) == 10
+        for event in events[:4]:
+            event.cancel()
+        assert len(queue) == 6
+
+    def test_double_cancel_counted_once(self):
+        queue = EventQueue()
+        event = queue.schedule_at(1, lambda: None)
+        queue.schedule_at(2, lambda: None)
+        event.cancel()
+        event.cancel()
+        assert len(queue) == 1
+
+    def test_cancel_after_fire_does_not_skew_count(self):
+        queue = EventQueue()
+        event = queue.schedule_at(1, lambda: None)
+        queue.schedule_at(2, lambda: None)
+        fired = queue.pop()
+        assert fired is event
+        event.cancel()  # too late; must not affect the remaining count
+        assert len(queue) == 1
+        assert bool(queue)
+
+    def test_bool_reflects_live_events(self):
+        queue = EventQueue()
+        event = queue.schedule_at(1, lambda: None)
+        assert queue
+        event.cancel()
+        assert not queue
+
+    def test_heap_compacts_when_dead_dominate(self):
+        queue = EventQueue()
+        survivors = [queue.schedule_at(1, lambda: None) for _ in range(5)]
+        doomed = [queue.schedule_at(2, lambda: None) for _ in range(200)]
+        for event in doomed:
+            event.cancel()
+        # cancelled entries outnumber live ones well past the threshold:
+        # the heap must have shed them instead of waiting for pop
+        assert len(queue._heap) < 100
+        assert len(queue) == len(survivors)
+        popped = 0
+        while queue.pop() is not None:
+            popped += 1
+        assert popped == len(survivors)
+
+    def test_compaction_preserves_order(self):
+        queue = EventQueue()
+        fired = []
+        for i in range(100):
+            event = queue.schedule_at(
+                i, (lambda n: lambda: fired.append(n))(i))
+            if i % 2 == 0:
+                event.cancel()
+        while queue:
+            queue.pop().callback()
+        assert fired == list(range(1, 100, 2))
+
+    def test_scheduling_precancelled_event_stays_dead(self):
+        queue = EventQueue()
+        event = Event(5, lambda: None)
+        event.cancel()
+        queue.schedule(event)
+        assert len(queue) == 0
+        assert queue.pop() is None

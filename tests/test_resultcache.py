@@ -1,0 +1,164 @@
+"""Tests for the persistent result cache."""
+
+import json
+
+import pytest
+
+from repro.core.metrics import CacheSnapshot, RunResult
+from repro.core.protocol_mode import CoherenceMode
+from repro.harness import resultcache
+from repro.harness.resultcache import (
+    ResultCache,
+    default_cache,
+    run_fingerprint,
+)
+from repro.harness.runner import run_benchmark
+
+
+def _result(ticks=123):
+    return RunResult(
+        workload="VA/small", mode="ccsm", total_ticks=ticks,
+        gpu_l2=CacheSnapshot(accesses=10, hits=7, misses=3,
+                             compulsory_misses=2, evictions=1),
+        network_messages=42, network_bytes=4096, ds_messages=5,
+        ds_forwarded_stores=4, dram_reads=9, dram_writes=8,
+        cpu_loads=100, cpu_stores=50, events_fired=1000,
+        stats={"xbar.messages": 42.0, "dram.reads": 9.0})
+
+
+class TestRoundTrip:
+    def test_run_result_round_trips_losslessly(self):
+        original = _result()
+        restored = RunResult.from_dict(
+            json.loads(json.dumps(original.to_dict())))
+        assert restored == original
+
+    def test_real_run_round_trips(self, tiny_config):
+        result = run_benchmark(
+            "VA", "small", CoherenceMode.CCSM,
+            tiny_config.with_overrides(track_values=False))
+        assert RunResult.from_dict(result.to_dict()) == result
+
+
+class TestFingerprint:
+    def test_stable_for_equal_inputs(self, tiny_config):
+        a = run_fingerprint("VA", "small", CoherenceMode.CCSM, tiny_config)
+        b = run_fingerprint("VA", "small", CoherenceMode.CCSM, tiny_config)
+        assert a == b
+
+    def test_code_case_insensitive(self, tiny_config):
+        assert (run_fingerprint("va", "small", CoherenceMode.CCSM,
+                                tiny_config)
+                == run_fingerprint("VA", "small", CoherenceMode.CCSM,
+                                   tiny_config))
+
+    def test_mode_changes_fingerprint(self, tiny_config):
+        assert (run_fingerprint("VA", "small", CoherenceMode.CCSM,
+                                tiny_config)
+                != run_fingerprint("VA", "small",
+                                   CoherenceMode.DIRECT_STORE,
+                                   tiny_config))
+
+    def test_config_change_changes_fingerprint(self, tiny_config):
+        base = run_fingerprint("VA", "small", CoherenceMode.CCSM,
+                               tiny_config)
+        tweaked = tiny_config.with_overrides(line_size=256)
+        assert run_fingerprint("VA", "small", CoherenceMode.CCSM,
+                               tweaked) != base
+
+    def test_nested_config_change_changes_fingerprint(self, tiny_config):
+        import copy
+        base = run_fingerprint("VA", "small", CoherenceMode.CCSM,
+                               tiny_config)
+        tweaked = copy.deepcopy(tiny_config)
+        tweaked.network.ds_latency_cycles += 1
+        assert run_fingerprint("VA", "small", CoherenceMode.CCSM,
+                               tweaked) != base
+
+
+class TestResultCache:
+    def test_miss_then_hit(self, tiny_config, tmp_path):
+        cache = ResultCache(tmp_path)
+        assert cache.get("VA", "small", CoherenceMode.CCSM,
+                         tiny_config) is None
+        assert cache.misses == 1
+        cache.put("VA", "small", CoherenceMode.CCSM, tiny_config,
+                  _result())
+        hit = cache.get("VA", "small", CoherenceMode.CCSM, tiny_config)
+        assert hit is not None and hit.total_ticks == 123
+        assert cache.hits == 1
+
+    def test_config_change_invalidates(self, tiny_config, tmp_path):
+        cache = ResultCache(tmp_path)
+        cache.put("VA", "small", CoherenceMode.CCSM, tiny_config,
+                  _result())
+        other = tiny_config.with_overrides(line_size=256)
+        assert cache.get("VA", "small", CoherenceMode.CCSM, other) is None
+
+    def test_schema_version_bump_invalidates(self, tiny_config, tmp_path,
+                                             monkeypatch):
+        cache = ResultCache(tmp_path)
+        cache.put("VA", "small", CoherenceMode.CCSM, tiny_config,
+                  _result())
+        monkeypatch.setattr(resultcache, "CACHE_SCHEMA_VERSION",
+                            resultcache.CACHE_SCHEMA_VERSION + 1)
+        assert cache.get("VA", "small", CoherenceMode.CCSM,
+                         tiny_config) is None
+
+    def test_corrupted_entry_recovers(self, tiny_config, tmp_path):
+        cache = ResultCache(tmp_path)
+        path = cache.put("VA", "small", CoherenceMode.CCSM, tiny_config,
+                         _result())
+        path.write_text("{ not json")
+        assert cache.get("VA", "small", CoherenceMode.CCSM,
+                         tiny_config) is None
+        assert not path.exists()  # bad entry removed
+        # and a fresh put works again
+        cache.put("VA", "small", CoherenceMode.CCSM, tiny_config,
+                  _result(456))
+        hit = cache.get("VA", "small", CoherenceMode.CCSM, tiny_config)
+        assert hit.total_ticks == 456
+
+    def test_truncated_payload_recovers(self, tiny_config, tmp_path):
+        cache = ResultCache(tmp_path)
+        path = cache.put("VA", "small", CoherenceMode.CCSM, tiny_config,
+                         _result())
+        document = json.loads(path.read_text())
+        del document["result"]["total_ticks"]
+        path.write_text(json.dumps(document))
+        assert cache.get("VA", "small", CoherenceMode.CCSM,
+                         tiny_config) is None
+
+    def test_clear_and_len(self, tiny_config, tmp_path):
+        cache = ResultCache(tmp_path)
+        assert len(cache) == 0
+        cache.put("VA", "small", CoherenceMode.CCSM, tiny_config,
+                  _result())
+        cache.put("VA", "small", CoherenceMode.DIRECT_STORE, tiny_config,
+                  _result())
+        assert len(cache) == 2
+        assert cache.clear() == 2
+        assert len(cache) == 0
+
+
+class TestDefaultCache:
+    def test_env_dir_override(self, monkeypatch, tmp_path):
+        monkeypatch.delenv("REPRO_NO_CACHE", raising=False)
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "c"))
+        cache = default_cache()
+        assert cache is not None
+        assert cache.directory == tmp_path / "c"
+
+    def test_no_cache_env_disables(self, monkeypatch):
+        monkeypatch.setenv("REPRO_NO_CACHE", "1")
+        assert default_cache() is None
+
+    def test_no_cache_zero_means_enabled(self, monkeypatch):
+        monkeypatch.setenv("REPRO_NO_CACHE", "0")
+        assert default_cache() is not None
+
+    def test_explicit_dir_wins(self, monkeypatch, tmp_path):
+        monkeypatch.delenv("REPRO_NO_CACHE", raising=False)
+        monkeypatch.setenv("REPRO_CACHE_DIR", "/elsewhere")
+        cache = default_cache(tmp_path)
+        assert cache.directory == tmp_path

@@ -1,0 +1,140 @@
+#!/usr/bin/env python
+"""Benchmark the benchmark harness: serial vs parallel vs cached.
+
+Times a full figure-regeneration workload (every requested Table II
+benchmark under CCSM and direct store) three ways:
+
+1. **serial** — one process, no cache (the pre-parallel baseline path);
+2. **parallel cold** — fan-out across worker processes into an empty
+   result cache;
+3. **cached warm** — the same batch again, now fully served from disk;
+
+verifies the three produce tick-for-tick identical results, and writes
+a perf-trajectory record to ``BENCH_harness.json``.
+
+Usage::
+
+    PYTHONPATH=src python tools/bench_harness.py [options]
+
+    --codes VA NN ...      subset of benchmarks (default: all 22)
+    --input-size small|big
+    --jobs N               worker processes for the parallel phases
+    --cache-dir PATH       cache location (default: a fresh temp dir)
+    --output PATH          where to write the record (default:
+                           BENCH_harness.json next to the repo root)
+    --skip-serial          reuse no baseline; only parallel + cached
+"""
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+from repro.core.protocol_mode import CoherenceMode
+from repro.harness.parallel import ParallelRunner, RunPoint, resolve_jobs
+from repro.harness.resultcache import ResultCache
+from repro.workloads.suite import benchmark_codes
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+def build_points(codes, input_size):
+    points = []
+    for code in codes:
+        points.append(RunPoint(code, input_size, CoherenceMode.CCSM))
+        points.append(RunPoint(code, input_size,
+                               CoherenceMode.DIRECT_STORE))
+    return points
+
+
+def run_phase(label, runner, points):
+    start = time.perf_counter()
+    results = runner.run_points(points)
+    elapsed = time.perf_counter() - start
+    print(f"{label:14s} {elapsed:8.2f}s "
+          f"({len(points)} runs, jobs={runner.jobs}, "
+          f"cache_hits={runner.cache.hits if runner.cache else 0})",
+          file=sys.stderr)
+    return elapsed, results
+
+
+def ticks_of(results):
+    return [result.total_ticks for result in results]
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--codes", nargs="*", default=None)
+    parser.add_argument("--input-size", choices=("small", "big"),
+                        default="small")
+    parser.add_argument("--jobs", "-j", type=int, default=None)
+    parser.add_argument("--cache-dir", default=None)
+    parser.add_argument("--output", default=str(REPO_ROOT /
+                                                "BENCH_harness.json"))
+    parser.add_argument("--skip-serial", action="store_true")
+    args = parser.parse_args(argv)
+
+    codes = args.codes or benchmark_codes()
+    points = build_points(codes, args.input_size)
+    if args.cache_dir is not None:
+        cache_dir = Path(args.cache_dir)
+    else:
+        import tempfile
+        cache_dir = Path(tempfile.mkdtemp(prefix="repro_bench_cache_"))
+    cache = ResultCache(cache_dir)
+    cache.clear()  # the "cold" phase must be genuinely cold
+
+    record = {
+        "tool": "bench_harness",
+        "timestamp": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+        "input_size": args.input_size,
+        "codes": list(codes),
+        "runs": len(points),
+        "jobs": resolve_jobs(args.jobs),
+        "cpu_count": __import__("os").cpu_count(),
+        "phases": {},
+    }
+
+    serial_results = None
+    if not args.skip_serial:
+        serial_runner = ParallelRunner(jobs=1, cache=None)
+        serial_s, serial_results = run_phase("serial", serial_runner,
+                                             points)
+        record["phases"]["serial_uncached_s"] = round(serial_s, 3)
+
+    parallel_runner = ParallelRunner(jobs=args.jobs, cache=cache)
+    parallel_s, parallel_results = run_phase("parallel cold",
+                                             parallel_runner, points)
+    record["phases"]["parallel_cold_s"] = round(parallel_s, 3)
+
+    warm_runner = ParallelRunner(jobs=args.jobs, cache=ResultCache(cache_dir))
+    cached_s, cached_results = run_phase("cached warm", warm_runner,
+                                         points)
+    record["phases"]["cached_warm_s"] = round(cached_s, 3)
+
+    identical = ticks_of(parallel_results) == ticks_of(cached_results)
+    if serial_results is not None:
+        identical = identical and (ticks_of(serial_results)
+                                   == ticks_of(parallel_results))
+        record["speedup_parallel_vs_serial"] = round(
+            record["phases"]["serial_uncached_s"] / parallel_s, 2)
+        record["speedup_cached_vs_serial"] = round(
+            record["phases"]["serial_uncached_s"] / cached_s, 2)
+    record["speedup_cached_vs_parallel"] = round(parallel_s / cached_s, 2)
+    record["results_identical"] = identical
+    record["total_ticks"] = {
+        f"{point.code}/{point.mode.value}": result.total_ticks
+        for point, result in zip(points, parallel_results)}
+
+    Path(args.output).write_text(json.dumps(record, indent=2) + "\n")
+    print(f"wrote {args.output}", file=sys.stderr)
+    if not identical:
+        print("ERROR: parallel/cached results differ from baseline",
+              file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -2,21 +2,21 @@
 """Calibration sweep: run every Table II benchmark under both modes.
 
 Usage: python tools/calibrate.py [small|big] [CODE ...]
+
+Runs fan out across worker processes (``REPRO_JOBS`` bounds the pool)
+and are served from the persistent result cache when available
+(``REPRO_NO_CACHE=1`` disables it); phase-time detail is omitted for
+cached results.
 """
 
 import sys
 import time
 
-from repro import CoherenceMode, IntegratedSystem, SystemConfig
+from repro import CoherenceMode
+from repro.harness.parallel import compare_many
+from repro.harness.resultcache import default_cache
 from repro.utils.statistics import geometric_mean
-from repro.workloads import benchmark_codes, get_workload
-
-
-def run_one(code, input_size, mode, track_values=False):
-    config = SystemConfig(track_values=track_values)
-    system = IntegratedSystem(config, mode)
-    result = system.run(get_workload(code, input_size))
-    return result, system.phase_times
+from repro.workloads import benchmark_codes
 
 
 def main():
@@ -25,26 +25,23 @@ def main():
     speedups = []
     ccsm_rates, ds_rates = [], []
     print(f"{'code':5s} {'speedup':>8s} {'ccsm_mr':>8s} {'ds_mr':>8s} "
-          f"{'ccsm_us':>9s} {'ds_us':>9s}  phases(ccsm->ds us)")
-    for code in codes:
-        t0 = time.time()
-        ccsm, ccsm_phases = run_one(code, input_size, CoherenceMode.CCSM)
-        ds, ds_phases = run_one(code, input_size,
-                                CoherenceMode.DIRECT_STORE)
-        speedup = ds.speedup_over(ccsm)
+          f"{'ccsm_us':>9s} {'ds_us':>9s}")
+    t0 = time.time()
+    comparisons = compare_many(codes, input_size, cache=default_cache())
+    total_seconds = time.time() - t0
+    for comparison in comparisons:
+        ccsm, ds = comparison.ccsm, comparison.direct_store
+        speedup = comparison.speedup
         speedups.append(speedup)
         if ccsm.gpu_l2_miss_rate > 0:
             ccsm_rates.append(ccsm.gpu_l2_miss_rate)
         if ds.gpu_l2_miss_rate > 0:
             ds_rates.append(ds.gpu_l2_miss_rate)
-        phase_str = " ".join(
-            f"{name.split('.')[-1]}:{(e1 - s1) / 1e6:.0f}->{(e2 - s2) / 1e6:.0f}"
-            for (name, s1, e1), (_n2, s2, e2)
-            in zip(ccsm_phases, ds_phases))
-        print(f"{code:5s} {speedup:8.3f} {ccsm.gpu_l2_miss_rate:8.1%} "
+        print(f"{comparison.code:5s} {speedup:8.3f} "
+              f"{ccsm.gpu_l2_miss_rate:8.1%} "
               f"{ds.gpu_l2_miss_rate:8.1%} {ccsm.total_ticks / 1e6:9.1f} "
-              f"{ds.total_ticks / 1e6:9.1f}  {phase_str} "
-              f"[{time.time() - t0:.1f}s]")
+              f"{ds.total_ticks / 1e6:9.1f}")
+    print(f"\n{len(codes)} benchmarks in {total_seconds:.1f}s")
     nonzero = [s for s in speedups if s > 1.005]
     print(f"\ngeomean nonzero speedup: "
           f"{geometric_mean(nonzero) if nonzero else 0:.3f} "
