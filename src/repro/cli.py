@@ -65,6 +65,10 @@ def _parser() -> argparse.ArgumentParser:
     run.add_argument("code", help="Table II code, e.g. VA")
     run.add_argument("--mode", choices=sorted(MODES) + ["all"],
                      default="direct_store")
+    run.add_argument(
+        "--profile", action="store_true",
+        help="attribute host wall time to simulator components "
+             "(coalescer/TLB/cache/protocol/engine) and print a table")
     _add_common(run)
 
     compare = sub.add_parser("compare", help="CCSM vs direct store")
@@ -101,6 +105,10 @@ def _parser() -> argparse.ArgumentParser:
 
 
 def _cmd_run(args) -> int:
+    if args.profile:
+        from repro.utils.profiler import PROFILER
+        PROFILER.enable()
+        PROFILER.reset()
     modes = (list(CoherenceMode) if args.mode == "all"
              else [MODES[args.mode]])
     rows = []
@@ -113,6 +121,9 @@ def _cmd_run(args) -> int:
     print(format_table(
         ["Mode", "Total ticks", "GPU L2 miss rate", "Coherence msgs",
          "Forwards"], rows))
+    if args.profile:
+        print("\nhost-time profile (all modes combined):")
+        print(PROFILER.report())
     return 0
 
 

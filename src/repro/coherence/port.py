@@ -23,6 +23,7 @@ from typing import Callable, Optional
 from repro.coherence.hammer import AccessResult, HammerSystem
 from repro.engine.event import EventQueue
 from repro.mem.mshr import MSHRFile
+from repro.utils.profiler import PROFILER
 
 Callback = Callable[[AccessResult], None]
 
@@ -88,10 +89,16 @@ class CoherentPort:
             return
         self._accept(on_accept)
 
+        prof = PROFILER
+        profiling = prof.enabled
+        if profiling:
+            prof.start("protocol")
         if is_store:
             result = self.engine.store(self.agent_name, address, value, now)
         else:
             result = self.engine.load(self.agent_name, address, now)
+        if profiling:
+            prof.stop()
 
         if result.hit:
             # no fill in flight; deliver at the access's ready tick

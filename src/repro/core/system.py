@@ -34,6 +34,7 @@ from repro.mem.cache import SetAssociativeCache
 from repro.mem.dram import DramModel
 from repro.mem.memimage import MemoryImage
 from repro.utils.bitops import is_power_of_two, log2_exact
+from repro.utils.profiler import PROFILER
 from repro.vm.mmap import MmapAllocator
 from repro.vm.mmu import MMU
 from repro.vm.pagetable import PageTable, PhysicalFrameAllocator
@@ -237,7 +238,8 @@ class IntegratedSystem:
                 "IntegratedSystem instances are single-use; build a fresh "
                 "one per run")
         self._ran = True
-        self._phases = workload.build(self.build_context())
+        with PROFILER.section("trace_build"):
+            self._phases = workload.build_phases(self.build_context())
         if not self._phases:
             raise ValueError(f"workload {workload!r} built no phases")
         self._phase_index = 0

@@ -5,6 +5,7 @@ from __future__ import annotations
 from typing import Optional
 
 from repro.engine.event import EventQueue
+from repro.utils.profiler import PROFILER
 
 
 class SimulationLimitError(RuntimeError):
@@ -37,6 +38,23 @@ class Simulator:
 
     def run(self) -> int:
         """Fire events until the queue is empty; return the final tick.
+
+        When profiling is enabled, the whole event loop is attributed to
+        the ``engine`` section; sections opened by event callbacks
+        (coalescer, TLB, cache, protocol) subtract themselves from the
+        engine's self time.
+        """
+        prof = PROFILER
+        if not prof.enabled:
+            return self._run()
+        prof.start("engine")
+        try:
+            return self._run()
+        finally:
+            prof.stop()
+
+    def _run(self) -> int:
+        """The bare event loop.
 
         The loop binds everything it touches to locals — each iteration
         is a handful of bytecodes around the callback, which matters when

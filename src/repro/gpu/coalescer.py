@@ -6,41 +6,91 @@ A fully-coalesced access to consecutive 4-byte words touches exactly one
 128-byte line; a strided or irregular access fans out into many — the
 classic GPU memory-divergence effect, which the Pannotia graph workloads
 exercise heavily.
+
+Three equivalent paths produce the line list (always distinct line
+addresses in first-lane order, with identical statistics):
+
+* **precompiled** — the workload builders attach the coalesce result to
+  each op at trace build time (:meth:`coalesce_op` just records stats);
+* **NumPy batch** — ops carrying a NumPy lane row are masked and
+  deduplicated in one vectorized shot;
+* **scalar** — the per-lane Python loop, the reference implementation,
+  forced everywhere by ``REPRO_SCALAR_PIPELINE=1``.
 """
 
 from __future__ import annotations
 
 from typing import List, Sequence
 
+from repro.utils.bitops import is_power_of_two
+from repro.utils.pipeline import np, scalar_pipeline_enabled
 from repro.utils.statistics import StatsRegistry
+from repro.workloads.trace import WarpOp
 
 
 class Coalescer:
     """Merges lane addresses into per-line transactions."""
 
     def __init__(self, name: str, line_size: int = 128) -> None:
+        if not is_power_of_two(line_size):
+            raise ValueError(
+                f"{name}: line size must be a power of two: {line_size}")
         self.name = name
         self.line_size = line_size
+        # the line mask depends only on the geometry: derive it once
+        # here instead of re-deriving it per lane per instruction
+        self._offset_mask = line_size - 1
+        self._line_mask = ~self._offset_mask
+        self._scalar = scalar_pipeline_enabled()
         self.stats = StatsRegistry(name)
         self._instructions = self.stats.counter("instructions")
         self._transactions = self.stats.counter("transactions")
         self._fanout = self.stats.histogram(
             "transactions_per_instruction", [1, 2, 4, 8, 16, 32])
 
+    def _record(self, num_lines: int) -> None:
+        self._instructions.value += 1
+        self._transactions.increment(num_lines)
+        self._fanout.record(num_lines)
+
     def coalesce(self, lane_addresses: Sequence[int]) -> List[int]:
         """Distinct line addresses touched, in first-lane order."""
-        if not lane_addresses:
+        if len(lane_addresses) == 0:
             return []
+        if (not self._scalar and np is not None
+                and isinstance(lane_addresses, np.ndarray)):
+            line_array = lane_addresses & self._line_mask
+            unique, first_index = np.unique(line_array, return_index=True)
+            if len(unique) > 1:
+                unique = unique[np.argsort(first_index)]
+            lines = unique.tolist()
+            self._record(len(lines))
+            return lines
+        line_mask = self._line_mask
         seen = set()
         lines: List[int] = []
         for address in lane_addresses:
-            line = address & ~(self.line_size - 1)
+            line = address & line_mask
             if line not in seen:
                 seen.add(line)
                 lines.append(line)
-        self._instructions.increment()
-        self._transactions.increment(len(lines))
-        self._fanout.record(len(lines))
+        self._record(len(lines))
+        return lines
+
+    def coalesce_op(self, op: WarpOp) -> List[int]:
+        """Coalesce one memory op, using its precompiled lines if valid.
+
+        Falls back to :meth:`coalesce` on the lane addresses whenever the
+        op was not precompiled for this line size (hand-built traces,
+        scalar-pipeline runs) — results and statistics are identical
+        either way.
+        """
+        lines = op.lines
+        if self._scalar or lines is None or op.lines_size != self.line_size:
+            return self.coalesce(op.addresses)
+        if not lines:
+            return lines
+        self._record(len(lines))
         return lines
 
     @property

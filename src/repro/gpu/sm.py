@@ -22,6 +22,8 @@ from repro.engine.clock import ClockDomain
 from repro.engine.event import EventQueue
 from repro.gpu.coalescer import Coalescer
 from repro.mem.cache import SetAssociativeCache
+from repro.utils.pipeline import scalar_pipeline_enabled
+from repro.utils.profiler import PROFILER
 from repro.utils.statistics import StatsRegistry
 from repro.vm.mmu import MMU
 from repro.workloads.trace import OpKind, WarpOp, WarpProgram
@@ -63,6 +65,16 @@ class StreamingMultiprocessor:
         self.l1_latency_cycles = l1_latency_cycles
         self.shmem_latency_cycles = shmem_latency_cycles
         self.coalescer = Coalescer(f"{name}.coalescer", l1.line_size)
+        #: scalar escape hatch (REPRO_SCALAR_PIPELINE=1): per-line
+        #: translate/lookup instead of the batch entry points
+        self._scalar = scalar_pipeline_enabled()
+        self._prof = PROFILER
+        # per-access latencies are fixed; convert to ticks once
+        self._l1_ticks = clock.cycles_to_ticks(l1_latency_cycles)
+        self._cycle_ticks = clock.cycles_to_ticks(1)
+        # cached full-line store image, rebuilt when the value changes
+        self._store_fill: Optional[Dict[int, int]] = None
+        self._store_fill_value: Optional[int] = None
         self.record_loads = record_loads
         #: optional NextLinePrefetcher consulted on every L1 load miss
         self.prefetcher = prefetcher
@@ -180,26 +192,60 @@ class StreamingMultiprocessor:
             return
         raise ValueError(f"{self.name}: warp op {op.kind} not executable")
 
+    def _coalesce_and_translate(self, op: WarpOp, is_store: bool
+                                ) -> Tuple[List[int], List[int]]:
+        """(coalesced line VAs, translated line PAs) for one memory op.
+
+        The vectorized path consumes precompiled lines and the MMU's
+        batch entry point; the scalar escape hatch replays the original
+        per-line translate calls.  Both produce identical addresses and
+        statistics.
+        """
+        prof = self._prof
+        profiling = prof.enabled
+        if profiling:
+            prof.start("coalescer")
+        lines = self.coalescer.coalesce_op(op)
+        if profiling:
+            prof.stop()
+            prof.start("tlb")
+        if self._scalar:
+            translate = self.mmu.translate
+            pas = [translate(line_va, is_store=is_store).physical_address
+                   for line_va in lines]
+        else:
+            pas = self.mmu.translate_batch(lines, is_store=is_store)
+        if profiling:
+            prof.stop()
+        return lines, pas
+
     def _execute_load(self, warp: _Warp, op: WarpOp, now: int) -> None:
-        l1_ticks = self.clock.cycles_to_ticks(self.l1_latency_cycles)
-        warp.ready_tick = now + l1_ticks
+        warp.ready_tick = now + self._l1_ticks
         issue_tick = now
-        for line_va in self.coalescer.coalesce(op.addresses):
-            translation = self.mmu.translate(line_va, is_store=False)
-            line = self.l1.lookup(translation.physical_address)
+        lines, pas = self._coalesce_and_translate(op, is_store=False)
+        prof = self._prof
+        profiling = prof.enabled
+        if profiling:
+            prof.start("cache")
+        if len(lines) > 1 and not self._scalar:
+            resident = self.l1.lookup_batch(pas)
+        else:
+            l1_lookup = self.l1.lookup
+            resident = [l1_lookup(pa) for pa in pas]
+        if profiling:
+            prof.stop()
+        for line_va, pa, line in zip(lines, pas, resident):
             if line is not None:
                 if self.record_loads:
                     self._record_line_values(op, line_va, line.data)
                 continue
             warp.pending_loads += 1
             if self.prefetcher is not None:
-                self.prefetcher.on_demand_miss(
-                    translation.physical_address, now)
-            port = self.slice_ports[self.slice_router(
-                translation.physical_address)]
+                self.prefetcher.on_demand_miss(pa, now)
+            port = self.slice_ports[self.slice_router(pa)]
 
             def _on_fill(result: AccessResult, line_va: int = line_va,
-                         pa: int = translation.physical_address) -> None:
+                         pa: int = pa) -> None:
                 self._install_l1(pa)
                 if self.record_loads:
                     resident = self.l1.probe(pa)
@@ -217,22 +263,32 @@ class StreamingMultiprocessor:
                     else:
                         self._schedule_issue()
 
-            port.load(translation.physical_address, _on_fill)
+            port.load(pa, _on_fill)
+
+    def _full_line_image(self, value: int) -> Dict[int, int]:
+        """Word offsets → *value* for a whole line, cached per value."""
+        if self._store_fill is None or self._store_fill_value != value:
+            self._store_fill = dict.fromkeys(
+                range(self.l1.line_size // 4), value)
+            self._store_fill_value = value
+        return self._store_fill
 
     def _execute_store(self, warp: _Warp, op: WarpOp, now: int) -> None:
         # stores don't block the warp; the kernel drains them at the end
-        warp.ready_tick = now + self.clock.cycles_to_ticks(1)
-        for line_va in self.coalescer.coalesce(op.addresses):
-            translation = self.mmu.translate(line_va, is_store=True)
-            pa = translation.physical_address
+        warp.ready_tick = now + self._cycle_ticks
+        lines, pas = self._coalesce_and_translate(op, is_store=True)
+        if len(lines) > 1 and not self._scalar:
+            residents = self.l1.probe_batch(pas)
+        else:
+            l1_probe = self.l1.probe
+            residents = [l1_probe(pa) for pa in pas]
+        for pa, resident in zip(pas, residents):
             # write-through, no-allocate: update an existing L1 copy only
-            resident = self.l1.probe(pa)
             if resident is not None and op.value is not None:
                 if resident.data is None:
                     resident.data = {}
                 # warp stores cover the whole coalesced line
-                for offset in range(self.l1.line_size // 4):
-                    resident.data[offset] = op.value
+                resident.data.update(self._full_line_image(op.value))
             port = self.slice_ports[self.slice_router(pa)]
             self._outstanding_stores += 1
 
@@ -250,15 +306,21 @@ class StreamingMultiprocessor:
 
     def _install_l1(self, physical_address: int) -> None:
         """Copy the slice-resident line up into the SM's L1."""
-        if self.l1.probe(physical_address) is not None:
-            return
-        slice_name = self.slice_router(physical_address)
-        l2_line = self.slice_ports[slice_name].engine.agents[
-            slice_name].cache.probe(physical_address)
-        data = None
-        if l2_line is not None and l2_line.data is not None:
-            data = dict(l2_line.data)
-        self.l1.fill(physical_address, "V", self.queue.current_tick, data)
+        prof = self._prof
+        profiling = prof.enabled
+        if profiling:
+            prof.start("cache")
+        if self.l1.probe(physical_address) is None:
+            slice_name = self.slice_router(physical_address)
+            l2_line = self.slice_ports[slice_name].engine.agents[
+                slice_name].cache.probe(physical_address)
+            data = None
+            if l2_line is not None and l2_line.data is not None:
+                data = dict(l2_line.data)
+            self.l1.fill(physical_address, "V", self.queue.current_tick,
+                         data)
+        if profiling:
+            prof.stop()
 
     def _record_line_values(self, op: WarpOp, line_va: int,
                             data: Optional[dict]) -> None:

@@ -12,7 +12,7 @@ reduction of direct store.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Optional, Set, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple
 
 from repro.mem.address import AddressLayout
 from repro.mem.cacheline import CacheLine
@@ -80,6 +80,66 @@ class SetAssociativeCache:
             if line.valid and line.tag == tag:
                 return line
         return None
+
+    def probe_batch(self, addresses: Sequence[int]
+                    ) -> List[Optional[CacheLine]]:
+        """Side-effect-free tag match for a batch of addresses.
+
+        Address decomposition is vectorized
+        (:meth:`~repro.mem.address.AddressLayout.decompose_batch`); the
+        result list is positionally parallel to *addresses*.
+        """
+        set_indices, tags = self.layout.decompose_batch(addresses)
+        sets = self._sets
+        out: List[Optional[CacheLine]] = []
+        for set_index, tag in zip(set_indices, tags):
+            hit: Optional[CacheLine] = None
+            for line in sets[set_index]:
+                if line.valid and line.tag == tag:
+                    hit = line
+                    break
+            out.append(hit)
+        return out
+
+    def lookup_batch(self, addresses: Sequence[int],
+                     record_stats: bool = True
+                     ) -> List[Optional[CacheLine]]:
+        """Demand access for a batch of addresses.
+
+        Statistics (accesses/hits/misses/compulsory) and replacement
+        recency end up identical to calling :meth:`lookup` per address
+        in order; only the address decomposition and counter updates are
+        batched.
+        """
+        layout = self.layout
+        set_indices, tags = layout.decompose_batch(addresses)
+        sets = self._sets
+        policy_on_access = self.policy.on_access
+        touched = self._touched
+        line_mask = layout.line_mask
+        hits = misses = compulsory = 0
+        out: List[Optional[CacheLine]] = []
+        for position, (set_index, tag) in enumerate(zip(set_indices,
+                                                        tags)):
+            hit: Optional[CacheLine] = None
+            for way, line in enumerate(sets[set_index]):
+                if line.valid and line.tag == tag:
+                    policy_on_access(set_index, way)
+                    hit = line
+                    break
+            if hit is None:
+                misses += 1
+                if (addresses[position] & line_mask) not in touched:
+                    compulsory += 1
+            else:
+                hits += 1
+            out.append(hit)
+        if record_stats:
+            self._accesses.value += len(out)
+            self._hits.value += hits
+            self._misses.value += misses
+            self._compulsory.value += compulsory
+        return out
 
     def has_free_way(self, address: int) -> bool:
         """Would a fill of *address* avoid evicting a valid line?"""

@@ -1,0 +1,39 @@
+"""Vectorized-pipeline feature gate.
+
+The warp memory pipeline (trace build, coalescing, translation, tag
+lookup) has two implementations: the original scalar Python loops and a
+NumPy-batched path that is bit-identical in tick counts and statistics.
+The batched path is the default; ``REPRO_SCALAR_PIPELINE=1`` forces the
+scalar path everywhere — the escape hatch CI uses to prove equivalence,
+and the fallback when NumPy is unavailable.
+
+Components read the flag once at construction time (a system is
+single-use), so toggling the environment variable affects the next
+system built, not one mid-run.
+"""
+
+from __future__ import annotations
+
+import os
+
+try:  # pragma: no cover - exercised implicitly by every vectorized test
+    import numpy as np
+    HAVE_NUMPY = True
+except ImportError:  # pragma: no cover - containers without numpy
+    np = None  # type: ignore[assignment]
+    HAVE_NUMPY = False
+
+#: environment variable forcing the scalar warp memory pipeline
+SCALAR_ENV = "REPRO_SCALAR_PIPELINE"
+
+
+def scalar_pipeline_enabled() -> bool:
+    """True when the scalar (non-NumPy) pipeline is forced or required."""
+    if not HAVE_NUMPY:
+        return True
+    return os.environ.get(SCALAR_ENV, "") not in ("", "0")
+
+
+def vectorize_enabled() -> bool:
+    """True when the NumPy-batched pipeline should be used."""
+    return not scalar_pipeline_enabled()

@@ -10,6 +10,7 @@ knows to forward the store over the dedicated network.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import List, Sequence
 
 from repro.utils.statistics import StatsRegistry
 from repro.vm.pagetable import PageTable
@@ -74,3 +75,42 @@ class MMU:
                         physical // self.page_table.page_size)
         return Translation(virtual_address, physical, False,
                            self.walk_cycles, direct, in_window)
+
+    def translate_batch(self, virtual_addresses: Sequence[int],
+                        is_store: bool = False) -> List[int]:
+        """Translate a batch of addresses; returns physical addresses.
+
+        The batch path serves the GPU's coalesced line stream, which
+        needs only the physical addresses — no
+        :class:`Translation` objects are built, and same-page runs are
+        resolved with a single page-table touch
+        (:meth:`~repro.vm.tlb.TLB.resolve_batch`).  All counters
+        (translations, walks, TLB hits/misses) and the TLB's LRU state
+        end up identical to per-address :meth:`translate` calls.  TLBs
+        with the direct-store detector wired (the CPU side) fall back to
+        the scalar path so detector statistics stay exact.
+        """
+        if self.tlb.detector_enabled:
+            return [self.translate(va, is_store).physical_address
+                    for va in virtual_addresses]
+        count = len(virtual_addresses)
+        if count == 0:
+            return []
+        page_size = self.page_table.page_size
+        if count == 1:
+            # dominant case: a fully coalesced warp op is one line
+            virtual_address = virtual_addresses[0]
+            self._translations.value += 1
+            pfn = self.tlb.resolve_one(virtual_address, self._walk_one)
+            return [pfn * page_size + virtual_address % page_size]
+        self._translations.increment(count)
+        pfns = self.tlb.resolve_batch(virtual_addresses, self._walk_one)
+        return [pfn * page_size + virtual_address % page_size
+                for pfn, virtual_address
+                in zip(pfns, virtual_addresses)]
+
+    def _walk_one(self, virtual_address: int) -> int:
+        """Page-table walk callback for the TLB's resolve paths."""
+        self._walks.value += 1
+        return (self.page_table.translate_or_map(virtual_address)
+                // self.page_table.page_size)

@@ -15,7 +15,7 @@ bits and nothing else — it adds no lookup state, mirroring the paper's
 from __future__ import annotations
 
 from collections import OrderedDict
-from typing import Optional, Tuple
+from typing import Callable, List, Optional, Sequence, Tuple
 
 from repro.utils.statistics import StatsRegistry
 from repro.vm.mmap import DIRECT_STORE_WINDOW_BASE, DIRECT_STORE_WINDOW_SIZE
@@ -61,6 +61,74 @@ class TLB:
             return None
         self._entries.move_to_end(vpn)
         self._hits.increment()
+        return pfn
+
+    def resolve_batch(self, virtual_addresses: Sequence[int],
+                      on_miss: Callable[[int], int]) -> List[int]:
+        """Resolve a batch of VAs to PFNs in one pass.
+
+        Statistics and LRU state are identical to calling
+        :meth:`lookup` (and :meth:`insert` on each miss) per address.
+        ``on_miss(virtual_address)`` supplies the PFN — typically the
+        MMU's page-table walk — and the result is filled like
+        :meth:`insert`.  Consecutive same-page addresses are resolved
+        with zero map touches: after the first access the entry is
+        already most-recently-used, so only the hit counter moves.
+        """
+        entries = self._entries
+        get = entries.get
+        move_to_end = entries.move_to_end
+        capacity = self.num_entries
+        hits = misses = 0
+        pfns: List[int] = []
+        last_vpn = -1
+        last_pfn = 0
+        try:
+            for virtual_address in virtual_addresses:
+                vpn = virtual_address // PAGE_SIZE
+                if vpn == last_vpn:
+                    hits += 1
+                    pfns.append(last_pfn)
+                    continue
+                pfn = get(vpn)
+                if pfn is None:
+                    misses += 1
+                    pfn = on_miss(virtual_address)
+                    if len(entries) >= capacity:
+                        entries.popitem(last=False)
+                    entries[vpn] = pfn
+                else:
+                    hits += 1
+                    move_to_end(vpn)
+                last_vpn = vpn
+                last_pfn = pfn
+                pfns.append(pfn)
+        finally:
+            self._hits.value += hits
+            self._misses.value += misses
+        return pfns
+
+    def resolve_one(self, virtual_address: int,
+                    on_miss: Callable[[int], int]) -> int:
+        """Single-address :meth:`resolve_batch` without loop setup.
+
+        The GPU's streaming warps coalesce most ops to exactly one line,
+        so the batch path's dominant case is a one-element sequence;
+        this entry point keeps that case cheap.  Stats and LRU motion
+        are identical to :meth:`lookup` + :meth:`insert`.
+        """
+        entries = self._entries
+        vpn = virtual_address // PAGE_SIZE
+        pfn = entries.get(vpn)
+        if pfn is None:
+            self._misses.value += 1
+            pfn = on_miss(virtual_address)
+            if len(entries) >= self.num_entries:
+                entries.popitem(last=False)
+            entries[vpn] = pfn
+        else:
+            self._hits.value += 1
+            entries.move_to_end(vpn)
         return pfn
 
     def insert(self, virtual_address: int, pfn: int) -> None:

@@ -64,5 +64,25 @@ class Workload(ABC):
     def build(self, ctx: BuildContext) -> List[object]:
         """Produce the phase list (CpuPhase / KernelLaunch objects)."""
 
+    def build_phases(self, ctx: BuildContext) -> List[object]:
+        """Build the phase list, then precompile warp lane addresses.
+
+        This is the entry point the system uses: after :meth:`build`
+        returns, every kernel memory op gets its coalesced line list
+        attached for *ctx.line_size*
+        (:func:`repro.workloads.trace.precompile_phases`) so the SM's
+        vectorized pipeline never walks lanes in Python at issue time.
+        With ``REPRO_SCALAR_PIPELINE=1`` (or without NumPy) the
+        precompile pass is skipped and ops replay through the scalar
+        coalescer instead; results are bit-identical either way.
+        """
+        from repro.utils.pipeline import vectorize_enabled
+        from repro.workloads.trace import precompile_phases
+
+        phases = self.build(ctx)
+        if vectorize_enabled():
+            precompile_phases(phases, ctx.line_size)
+        return phases
+
     def __repr__(self) -> str:
         return f"{type(self).__name__}({self.code}, {self.input_size})"

@@ -1,0 +1,89 @@
+"""Tests for the per-component wall-time profiler."""
+
+import itertools
+
+from repro.utils import profiler as profiler_module
+from repro.utils.profiler import Profiler
+
+
+def make_clocked_profiler(monkeypatch, ticks):
+    """A profiler whose perf_counter returns successive *ticks* values."""
+    stream = iter(ticks)
+    monkeypatch.setattr(profiler_module.time, "perf_counter",
+                        lambda: next(stream))
+    profiler = Profiler()
+    profiler.enable()
+    return profiler
+
+
+class TestDisabled:
+    def test_start_stop_are_noops(self):
+        profiler = Profiler()
+        profiler.start("engine")
+        profiler.stop()
+        assert profiler.self_seconds == {}
+        assert profiler.calls == {}
+
+    def test_section_records_nothing(self):
+        profiler = Profiler()
+        with profiler.section("cache"):
+            pass
+        assert profiler.total_seconds == 0.0
+
+
+class TestSelfTimeAttribution:
+    def test_flat_section(self, monkeypatch):
+        profiler = make_clocked_profiler(monkeypatch, [10.0, 13.5])
+        profiler.start("engine")
+        profiler.stop()
+        assert profiler.self_seconds["engine"] == 3.5
+        assert profiler.calls["engine"] == 1
+
+    def test_nested_child_subtracts_from_parent(self, monkeypatch):
+        # engine [0, 10]; cache [2, 5] inside it → engine self = 7
+        profiler = make_clocked_profiler(monkeypatch,
+                                         [0.0, 2.0, 5.0, 10.0])
+        profiler.start("engine")
+        profiler.start("cache")
+        profiler.stop()
+        profiler.stop()
+        assert profiler.self_seconds["cache"] == 3.0
+        assert profiler.self_seconds["engine"] == 7.0
+        assert profiler.total_seconds == 10.0
+
+    def test_repeated_sections_accumulate(self, monkeypatch):
+        profiler = make_clocked_profiler(monkeypatch,
+                                         [0.0, 1.0, 4.0, 6.0])
+        for _ in range(2):
+            profiler.start("tlb")
+            profiler.stop()
+        assert profiler.self_seconds["tlb"] == 3.0
+        assert profiler.calls["tlb"] == 2
+
+    def test_reset_clears_times_not_enabled_flag(self, monkeypatch):
+        profiler = make_clocked_profiler(monkeypatch,
+                                         itertools.count(0.0))
+        with profiler.section("engine"):
+            pass
+        profiler.reset()
+        assert profiler.self_seconds == {}
+        assert profiler.enabled
+
+
+class TestReport:
+    def test_report_lists_sections_sorted_by_self_time(self, monkeypatch):
+        profiler = make_clocked_profiler(monkeypatch,
+                                         [0.0, 1.0, 1.0, 9.0])
+        with profiler.section("coalescer"):
+            pass
+        with profiler.section("protocol"):
+            pass
+        report = profiler.report()
+        assert report.index("protocol") < report.index("coalescer")
+        assert "total" in report
+        # call counts appear alongside the sections
+        assert "1" in report
+
+    def test_empty_report_has_zero_total(self):
+        report = Profiler().report()
+        assert "0.000" in report

@@ -101,7 +101,7 @@ class TestGpuPatterns:
         warps = gather_warps(0x1000, 4096, 2, indices=[0, 1, 2, 3],
                              lanes=4)
         op = warps[0].ops[0]
-        assert op.addresses == (0x1000, 0x1004, 0x1008, 0x100C)
+        assert list(op.addresses) == [0x1000, 0x1004, 0x1008, 0x100C]
 
     def test_random_indices_deterministic(self):
         assert random_indices(10, 100, 5) == random_indices(10, 100, 5)
@@ -211,10 +211,10 @@ class TestSuite:
     def test_deterministic_builds(self):
         first = get_workload("BF", "small").build(make_ctx())
         second = get_workload("BF", "small").build(make_ctx())
-        ops_a = [op.addresses for phase in first
+        ops_a = [list(op.addresses) for phase in first
                  if isinstance(phase, KernelLaunch)
                  for warp in phase.warps for op in warp.ops]
-        ops_b = [op.addresses for phase in second
+        ops_b = [list(op.addresses) for phase in second
                  if isinstance(phase, KernelLaunch)
                  for warp in phase.warps for op in warp.ops]
         assert ops_a == ops_b

@@ -23,10 +23,16 @@ Usage::
     --output PATH          where to write the record (default:
                            BENCH_harness.json next to the repo root)
     --skip-serial          reuse no baseline; only parallel + cached
+    --pipeline-codes ...   GPU-heavy codes timed scalar vs vectorized
+                           for the warp_pipeline section (default:
+                           KM FW GC)
+    --pipeline-repeats N   timing repeats per pipeline mode (default 3)
+    --skip-pipeline        omit the warp_pipeline section
 """
 
 import argparse
 import json
+import os
 import sys
 import time
 from pathlib import Path
@@ -34,9 +40,71 @@ from pathlib import Path
 from repro.core.protocol_mode import CoherenceMode
 from repro.harness.parallel import ParallelRunner, RunPoint, resolve_jobs
 from repro.harness.resultcache import ResultCache
+from repro.harness.runner import run_benchmark
+from repro.utils.pipeline import SCALAR_ENV
 from repro.workloads.suite import benchmark_codes
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+def numpy_version():
+    try:
+        import numpy
+        return numpy.__version__
+    except ImportError:
+        return None
+
+
+def bench_warp_pipeline(codes, input_size, repeats):
+    """Time scalar vs vectorized warp-pipeline runs per benchmark.
+
+    Each mode runs *repeats* times in-process (best-of, first run
+    discarded as warm-up when repeats > 1); tick counts must match
+    between modes or the record is flagged.  The env toggle works
+    in-process because every run builds a fresh system, and components
+    read ``REPRO_SCALAR_PIPELINE`` at construction time.
+    """
+    saved = os.environ.get(SCALAR_ENV)
+    section = {"input_size": input_size, "repeats": repeats,
+               "benchmarks": {}}
+    try:
+        for code in codes:
+            entry = {}
+            ticks = {}
+            for label, env_value in (("scalar", "1"), ("vectorized", "")):
+                os.environ[SCALAR_ENV] = env_value
+                times = []
+                for _ in range(repeats):
+                    start = time.perf_counter()
+                    result = run_benchmark(code, input_size,
+                                           CoherenceMode.CCSM)
+                    times.append(time.perf_counter() - start)
+                best = min(times[1:]) if len(times) > 1 else times[0]
+                entry[f"{label}_s"] = round(best, 3)
+                ticks[label] = result.total_ticks
+            entry["speedup"] = round(entry["scalar_s"]
+                                     / entry["vectorized_s"], 2)
+            entry["total_ticks"] = ticks["vectorized"]
+            entry["ticks_identical"] = (ticks["scalar"]
+                                        == ticks["vectorized"])
+            section["benchmarks"][code] = entry
+            print(f"warp_pipeline  {code}: scalar {entry['scalar_s']}s, "
+                  f"vectorized {entry['vectorized_s']}s "
+                  f"({entry['speedup']}x, ticks "
+                  f"{'equal' if entry['ticks_identical'] else 'DIFFER'})",
+                  file=sys.stderr)
+    finally:
+        if saved is None:
+            os.environ.pop(SCALAR_ENV, None)
+        else:
+            os.environ[SCALAR_ENV] = saved
+    speedups = [entry["speedup"]
+                for entry in section["benchmarks"].values()]
+    section["best_speedup"] = max(speedups) if speedups else None
+    section["ticks_identical"] = all(
+        entry["ticks_identical"]
+        for entry in section["benchmarks"].values())
+    return section
 
 
 def build_points(codes, input_size):
@@ -73,6 +141,10 @@ def main(argv=None):
     parser.add_argument("--output", default=str(REPO_ROOT /
                                                 "BENCH_harness.json"))
     parser.add_argument("--skip-serial", action="store_true")
+    parser.add_argument("--pipeline-codes", nargs="*",
+                        default=["KM", "FW", "GC"])
+    parser.add_argument("--pipeline-repeats", type=int, default=3)
+    parser.add_argument("--skip-pipeline", action="store_true")
     args = parser.parse_args(argv)
 
     codes = args.codes or benchmark_codes()
@@ -92,7 +164,8 @@ def main(argv=None):
         "codes": list(codes),
         "runs": len(points),
         "jobs": resolve_jobs(args.jobs),
-        "cpu_count": __import__("os").cpu_count(),
+        "cpu_count": os.cpu_count(),
+        "numpy_version": numpy_version(),
         "phases": {},
     }
 
@@ -126,6 +199,11 @@ def main(argv=None):
     record["total_ticks"] = {
         f"{point.code}/{point.mode.value}": result.total_ticks
         for point, result in zip(points, parallel_results)}
+
+    if not args.skip_pipeline:
+        record["warp_pipeline"] = bench_warp_pipeline(
+            args.pipeline_codes, args.input_size, args.pipeline_repeats)
+        identical = identical and record["warp_pipeline"]["ticks_identical"]
 
     Path(args.output).write_text(json.dumps(record, indent=2) + "\n")
     print(f"wrote {args.output}", file=sys.stderr)
