@@ -22,13 +22,21 @@ from repro.core.config import SystemConfig
 from repro.core.protocol_mode import CoherenceMode
 from repro.harness.experiments import figure4, figure5
 from repro.harness.parallel import compare_many
-from repro.harness.reporting import ascii_bar_chart, format_table
+from repro.harness.reporting import (ascii_bar_chart, format_table,
+                                     phase_summary_line, timeline_summary,
+                                     timeseries_panel)
 from repro.harness.runner import run_benchmark
 from repro.harness.sweep import sweep_config
 from repro.harness.resultcache import default_cache
+from repro.telemetry import (TRACER, TelemetrySettings, write_chrome_trace,
+                             write_jsonl)
 from repro.workloads.suite import TABLE2, benchmark_codes
 
 MODES = {mode.value: mode for mode in CoherenceMode}
+
+#: default sampling interval for ``compare`` (ticks); run lengths span
+#: roughly 3.5M–300M ticks, so this yields a few to a few hundred samples
+COMPARE_SAMPLE_INTERVAL = 1_000_000
 
 
 def _add_common(parser: argparse.ArgumentParser) -> None:
@@ -69,10 +77,28 @@ def _parser() -> argparse.ArgumentParser:
         "--profile", action="store_true",
         help="attribute host wall time to simulator components "
              "(coalescer/TLB/cache/protocol/engine) and print a table")
+    run.add_argument(
+        "--trace-out", default=None, metavar="PATH",
+        help="write a Chrome trace-event JSON (open in Perfetto); with "
+             "--mode all the mode is suffixed, e.g. trace.ccsm.json")
+    run.add_argument(
+        "--trace-jsonl", default=None, metavar="PATH",
+        help="write raw trace events as JSON lines")
+    run.add_argument(
+        "--sample-interval", type=int, default=0, metavar="TICKS",
+        help="record interval time-series every TICKS simulated ticks")
+    run.add_argument(
+        "--timeline", action="store_true",
+        help="print a terminal timeline summary after each run")
     _add_common(run)
 
     compare = sub.add_parser("compare", help="CCSM vs direct store")
     compare.add_argument("code")
+    compare.add_argument(
+        "--sample-interval", type=int, default=COMPARE_SAMPLE_INTERVAL,
+        metavar="TICKS",
+        help="interval time-series granularity in ticks "
+             f"(default {COMPARE_SAMPLE_INTERVAL:,}; 0 disables)")
     _add_common(compare)
     _add_execution(compare)
 
@@ -104,23 +130,61 @@ def _parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _mode_path(path: str, mode: CoherenceMode, multi: bool) -> str:
+    """Suffix the mode into *path* when several modes share one run."""
+    if not multi:
+        return path
+    stem, dot, ext = path.rpartition(".")
+    if not dot:
+        return f"{path}.{mode.value}"
+    return f"{stem}.{mode.value}.{ext}"
+
+
 def _cmd_run(args) -> int:
     if args.profile:
         from repro.utils.profiler import PROFILER
         PROFILER.enable()
         PROFILER.reset()
+    telemetry = TelemetrySettings.from_env(TelemetrySettings(
+        trace=bool(args.trace_out or args.trace_jsonl),
+        sample_interval=args.sample_interval or 0))
     modes = (list(CoherenceMode) if args.mode == "all"
              else [MODES[args.mode]])
+    multi = len(modes) > 1
     rows = []
+    summaries = []
     for mode in modes:
-        result = run_benchmark(args.code, args.input_size, mode)
+        if telemetry.trace:
+            TRACER.clear()
+        result = run_benchmark(args.code, args.input_size, mode,
+                               telemetry=telemetry)
         rows.append((mode.value, f"{result.total_ticks:,}",
                      f"{result.gpu_l2_miss_rate:.1%}",
                      f"{result.network_messages:,}",
                      f"{result.ds_forwarded_stores:,}"))
+        summaries.append(f"[{mode.value}] "
+                         + phase_summary_line(result.phases))
+        label = f"{args.code.upper()}/{args.input_size} {mode.value}"
+        if args.trace_out:
+            path = _mode_path(args.trace_out, mode, multi)
+            write_chrome_trace(path, TRACER, phases=result.phases,
+                               timeseries=result.timeseries, label=label)
+            print(f"wrote {path} ({len(TRACER)} events, "
+                  f"{TRACER.dropped} dropped)", file=sys.stderr)
+        if args.trace_jsonl:
+            path = _mode_path(args.trace_jsonl, mode, multi)
+            write_jsonl(path, TRACER)
+            print(f"wrote {path}", file=sys.stderr)
+        if args.timeline:
+            print(f"\n-- timeline: {label} --")
+            print(timeline_summary(
+                tracer=TRACER if telemetry.trace else None,
+                phases=result.phases, timeseries=result.timeseries))
     print(format_table(
         ["Mode", "Total ticks", "GPU L2 miss rate", "Coherence msgs",
          "Forwards"], rows))
+    for line in summaries:
+        print(line)
     if args.profile:
         print("\nhost-time profile (all modes combined):")
         print(PROFILER.report())
@@ -128,18 +192,35 @@ def _cmd_run(args) -> int:
 
 
 def _cmd_compare(args) -> int:
+    telemetry = (TelemetrySettings.from_env(TelemetrySettings(
+        sample_interval=args.sample_interval))
+        if args.sample_interval > 0 else None)
     comparison = compare_many([args.code], args.input_size,
-                              jobs=args.jobs, cache=_cache_for(args))[0]
+                              jobs=args.jobs, cache=_cache_for(args),
+                              telemetry=telemetry)[0]
     print(format_table(
         ["Metric", "CCSM", "Direct store"],
         [("total ticks", f"{comparison.ccsm.total_ticks:,}",
           f"{comparison.direct_store.total_ticks:,}"),
          ("GPU L2 miss rate", f"{comparison.ccsm_miss_rate:.1%}",
           f"{comparison.ds_miss_rate:.1%}"),
+         ("GPU L2 first-touch hits",
+          f"{comparison.ccsm.gpu_l2.first_touch_hits:,}",
+          f"{comparison.direct_store.gpu_l2.first_touch_hits:,}"),
          ("compulsory misses",
           f"{comparison.ccsm.gpu_l2.compulsory_misses:,}",
           f"{comparison.direct_store.gpu_l2.compulsory_misses:,}")]))
     print(f"\nspeedup: {comparison.speedup_percent:+.1f}%")
+    for label, result in (("ccsm", comparison.ccsm),
+                          ("direct_store", comparison.direct_store)):
+        print(f"[{label}] " + phase_summary_line(result.phases))
+    if telemetry is not None:
+        # cached pre-telemetry entries carry no samples; the panel
+        # degrades to "(no samples)" rather than failing
+        for label, result in (("ccsm", comparison.ccsm),
+                              ("direct_store", comparison.direct_store)):
+            print(f"\n-- {label} --")
+            print(timeseries_panel(result.timeseries))
     return 0
 
 

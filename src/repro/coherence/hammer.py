@@ -45,6 +45,7 @@ from repro.mem.cache import SetAssociativeCache
 from repro.mem.cacheline import CacheLine
 from repro.mem.memimage import MemoryImage
 from repro.mem.dram import DramModel
+from repro.telemetry.tracer import TRACER
 from repro.utils.statistics import StatsRegistry
 
 #: node name of the memory controller / ordering point
@@ -256,6 +257,9 @@ class HammerSystem:
         agent = self.agents[agent_name]
         self._uncached_loads.increment()
         line_address = address & ~(self.line_size - 1)
+        if TRACER.enabled:
+            TRACER.instant("direct_store", "uncached_load", now,
+                           track=agent_name, args={"line": line_address})
         t0 = now + agent.tag_ticks
         # self-snoop: window lines are never CPU-cached by construction,
         # but the operation stays total — a locally cached line (only
@@ -373,6 +377,10 @@ class HammerSystem:
             # this, a streaming producer larger than the L2 would evict
             # its own earlier pushes and poison the consume phase.
             self._ds_dram_bypass.increment()
+            if TRACER.enabled:
+                TRACER.instant("direct_store", "dram_bypass", t_done,
+                               track=slice_name,
+                               args={"line": line_address})
             if self.image is not None:
                 for word_address, word_value in words:
                     if word_value is not None:
@@ -602,6 +610,16 @@ class HammerSystem:
 
     def _trace(self, agent: str, line_address: int, event: str,
                old_state, new_state, tick: int) -> None:
+        if TRACER.enabled:
+            TRACER.instant(
+                "coherence", event, tick, track=agent,
+                args={"line": line_address,
+                      "from": (old_state.value
+                               if isinstance(old_state, HammerState)
+                               else "-"),
+                      "to": (new_state.value
+                             if isinstance(new_state, HammerState)
+                             else "-")})
         if self.tracer is not None:
             self.tracer.record(
                 tick, agent, line_address, event,

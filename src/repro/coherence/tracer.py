@@ -47,7 +47,7 @@ class ProtocolTracer:
 
     def record(self, tick: int, agent: str, line_address: int,
                event: str, old_state: str, new_state: str) -> None:
-        """Append one transition (drops silently past capacity)."""
+        """Append one transition (past capacity, counted in ``dropped``)."""
         if len(self.events) >= self.capacity:
             self.dropped += 1
             return

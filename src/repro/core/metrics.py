@@ -10,7 +10,9 @@ number.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict
+from typing import Dict, List, Optional
+
+from repro.telemetry.sampler import TimeSeries
 
 
 @dataclass
@@ -22,6 +24,9 @@ class CacheSnapshot:
     misses: int = 0
     compulsory_misses: int = 0
     evictions: int = 0
+    #: hits on lines never demand-accessed before — data that arrived by
+    #: push (direct store) or prefetch and was found on first use
+    first_touch_hits: int = 0
 
     @property
     def miss_rate(self) -> float:
@@ -37,6 +42,7 @@ class CacheSnapshot:
             "misses": self.misses,
             "compulsory_misses": self.compulsory_misses,
             "evictions": self.evictions,
+            "first_touch_hits": self.first_touch_hits,
         }
 
     @classmethod
@@ -47,6 +53,8 @@ class CacheSnapshot:
             misses=payload["misses"],
             compulsory_misses=payload["compulsory_misses"],
             evictions=payload["evictions"],
+            # absent in pre-telemetry cache entries
+            first_touch_hits=payload.get("first_touch_hits", 0),
         )
 
 
@@ -74,6 +82,12 @@ class RunResult:
     events_fired: int = 0
     #: flat dump of every component statistic, for deep dives
     stats: Dict[str, float] = field(default_factory=dict)
+    #: per-phase telemetry: one dict per executed workload phase with
+    #: ``name``/``start``/``end`` plus counter deltas over the phase
+    #: (forwarded stores, GPU-L2 first-touch hits, ...)
+    phases: List[Dict] = field(default_factory=list)
+    #: interval-sampler output, present when sampling was requested
+    timeseries: Optional[TimeSeries] = None
 
     @property
     def gpu_l2_miss_rate(self) -> float:
@@ -114,6 +128,9 @@ class RunResult:
             "cpu_stores": self.cpu_stores,
             "events_fired": self.events_fired,
             "stats": dict(self.stats),
+            "phases": [dict(phase) for phase in self.phases],
+            "timeseries": (self.timeseries.to_dict()
+                           if self.timeseries is not None else None),
         }
 
     @classmethod
@@ -136,6 +153,10 @@ class RunResult:
             cpu_stores=payload["cpu_stores"],
             events_fired=payload["events_fired"],
             stats=dict(payload["stats"]),
+            # both absent in pre-telemetry cache entries
+            phases=[dict(phase) for phase in payload.get("phases", [])],
+            timeseries=(TimeSeries.from_dict(payload["timeseries"])
+                        if payload.get("timeseries") is not None else None),
         )
 
     def summary(self) -> str:
@@ -157,6 +178,7 @@ def snapshot_cache(cache) -> CacheSnapshot:
         misses=cache.misses,
         compulsory_misses=cache.compulsory_misses,
         evictions=cache.stats.counter("evictions").value,
+        first_touch_hits=cache.first_touch_hits,
     )
 
 
@@ -169,4 +191,5 @@ def merge_snapshots(*snapshots: CacheSnapshot) -> CacheSnapshot:
         merged.misses += snap.misses
         merged.compulsory_misses += snap.compulsory_misses
         merged.evictions += snap.evictions
+        merged.first_touch_hits += snap.first_touch_hits
     return merged

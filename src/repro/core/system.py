@@ -33,6 +33,12 @@ from repro.interconnect.network import Crossbar
 from repro.mem.cache import SetAssociativeCache
 from repro.mem.dram import DramModel
 from repro.mem.memimage import MemoryImage
+from repro.telemetry import (
+    TRACER,
+    IntervalSampler,
+    Probe,
+    TelemetrySettings,
+)
 from repro.utils.bitops import is_power_of_two, log2_exact
 from repro.utils.profiler import PROFILER
 from repro.vm.mmap import MmapAllocator
@@ -48,9 +54,11 @@ class IntegratedSystem:
 
     def __init__(self, config: Optional[SystemConfig] = None,
                  mode: CoherenceMode = CoherenceMode.CCSM,
-                 record_gpu_loads: bool = False) -> None:
+                 record_gpu_loads: bool = False,
+                 telemetry: Optional[TelemetrySettings] = None) -> None:
         self.config = config or SystemConfig()
         self.mode = mode
+        self.telemetry = telemetry or TelemetrySettings()
         cfg = self.config
 
         # --- clocks and engine -----------------------------------------
@@ -182,6 +190,23 @@ class IntegratedSystem:
                 line_size=cfg.line_size)
             self.engine.attach_direct_network(self.ds_network)
 
+        # --- telemetry ---------------------------------------------------
+        # The tracer is process-global; enabling it here lets every
+        # component emit through its own TRACER.enabled guard with no
+        # per-call plumbing.  The consumer (CLI/test) clears it between
+        # runs; the clock is rebound to this system's queue either way.
+        if self.telemetry.trace:
+            TRACER.configure(capacity=self.telemetry.trace_capacity)
+            TRACER.enable()
+        if TRACER.enabled:
+            queue = self.queue
+            TRACER.bind_clock(lambda: queue.current_tick)
+        self.sampler: Optional[IntervalSampler] = None
+        if self.telemetry.sample_interval > 0:
+            self.sampler = IntervalSampler(
+                self.telemetry.sample_interval, self._build_probes())
+            self.simulator.sampler = self.sampler
+
         # --- run state --------------------------------------------------
         self._phases: List[object] = []
         self._phase_index = 0
@@ -189,6 +214,9 @@ class IntegratedSystem:
         self._ran = False
         #: (phase_name, start_tick, end_tick) per executed phase
         self.phase_times: List[tuple] = []
+        #: per-phase telemetry dicts (name/start/end + counter deltas)
+        self.phase_records: List[Dict] = []
+        self._phase_counter_base: Optional[Dict[str, float]] = None
 
     # ------------------------------------------------------------------
     # address helpers
@@ -207,6 +235,88 @@ class IntegratedSystem:
             return ((line_address >> line_bits) & slice_mask) == index
 
         return _may_cache
+
+    # ------------------------------------------------------------------
+    # telemetry
+    # ------------------------------------------------------------------
+
+    def _build_probes(self) -> List[Probe]:
+        """Counter sources for the interval sampler.
+
+        Delta probes answer "how much happened this epoch" (the Fig. 4/5
+        story: forwarded stores land, then first-touch hits replace
+        misses); gauges capture occupancies at the sample instant.
+        """
+        gpu_l2 = self.gpu_l2_slices
+        slice_ports = list(self.slice_ports.values())
+        probes = [
+            Probe("gpu_l2_accesses",
+                  lambda: sum(c.accesses for c in gpu_l2)),
+            Probe("gpu_l2_misses",
+                  lambda: sum(c.misses for c in gpu_l2)),
+            Probe("gpu_l2_first_touch_hits",
+                  lambda: sum(c.first_touch_hits for c in gpu_l2)),
+            Probe("cpu_stores",
+                  lambda: self.cpu_mem.stats.counter("stores").value),
+            Probe("network_messages",
+                  lambda: self.network.total_messages),
+            Probe("network_bytes", lambda: self.network.total_bytes),
+            Probe("dram_accesses",
+                  lambda: (self.dram.stats.counter("reads").value
+                           + self.dram.stats.counter("writes").value)),
+            Probe("cpu_mshr_occupancy",
+                  lambda: len(self.cpu_port.mshrs), mode="gauge"),
+            Probe("gpu_mshr_occupancy",
+                  lambda: sum(len(port.mshrs) for port in slice_ports),
+                  mode="gauge"),
+            Probe("store_buffer_occupancy",
+                  lambda: len(self.cpu_core.store_buffer), mode="gauge"),
+            Probe("event_queue_depth",
+                  lambda: len(self.queue), mode="gauge"),
+        ]
+        if self.ds_network is not None:
+            probes.insert(3, Probe(
+                "forwarded_stores",
+                lambda: self.ds_network.forwarded_stores))
+            probes.append(Probe(
+                "ds_bytes", lambda: self.ds_network.total_bytes))
+        return probes
+
+    def _phase_counters(self) -> Dict[str, float]:
+        """The cumulative counters snapshotted at every phase boundary.
+
+        Reads only — always on, cheap (a handful per phase), and with no
+        effect on event timing, so phase records exist in every run.
+        """
+        return {
+            "forwarded_stores": (self.ds_network.forwarded_stores
+                                 if self.ds_network is not None else 0),
+            "gpu_l2_accesses": sum(c.accesses for c in self.gpu_l2_slices),
+            "gpu_l2_misses": sum(c.misses for c in self.gpu_l2_slices),
+            "gpu_l2_first_touch_hits": sum(
+                c.first_touch_hits for c in self.gpu_l2_slices),
+            "cpu_stores": self.cpu_mem.stats.counter("stores").value,
+            "network_messages": self.network.total_messages,
+        }
+
+    def _open_phase_record(self, name: str, start_tick: int) -> None:
+        self.phase_records.append(
+            {"name": name, "start": start_tick, "end": start_tick})
+        self._phase_counter_base = self._phase_counters()
+
+    def _close_phase_record(self, end_tick: int) -> None:
+        if not self.phase_records or self._phase_counter_base is None:
+            return
+        record = self.phase_records[-1]
+        record["end"] = end_tick
+        current = self._phase_counters()
+        for key, value in current.items():
+            record[key] = value - self._phase_counter_base[key]
+        self._phase_counter_base = None
+        if TRACER.enabled:
+            TRACER.span("phase", record["name"], record["start"], end_tick,
+                        track="phases",
+                        args={key: record[key] for key in current})
 
     # ------------------------------------------------------------------
     # execution
@@ -245,6 +355,8 @@ class IntegratedSystem:
         self._phase_index = 0
         self._start_next_phase(0)
         self.simulator.run()
+        if self.sampler is not None:
+            self.sampler.finalize(self._finish_tick)
         return self._collect(workload)
 
     def _start_next_phase(self, finish_tick: int) -> None:
@@ -252,6 +364,7 @@ class IntegratedSystem:
         if self.phase_times:
             name, start, _unset = self.phase_times[-1]
             self.phase_times[-1] = (name, start, finish_tick)
+            self._close_phase_record(finish_tick)
         if self._phase_index >= len(self._phases):
             return
         phase = self._phases[self._phase_index]
@@ -259,9 +372,11 @@ class IntegratedSystem:
         start_tick = self.queue.current_tick
         if isinstance(phase, CpuPhase):
             self.phase_times.append((phase.name, start_tick, None))
+            self._open_phase_record(phase.name, start_tick)
             self.cpu_core.run_phase(phase.ops, self._start_next_phase)
         elif isinstance(phase, KernelLaunch):
             self.phase_times.append((phase.name, start_tick, None))
+            self._open_phase_record(phase.name, start_tick)
             self.gpu.launch(phase, self._start_next_phase)
         else:
             raise TypeError(f"unknown phase type {type(phase).__name__}")
@@ -312,5 +427,8 @@ class IntegratedSystem:
             cpu_stores=self.cpu_mem.stats.counter("stores").value,
             events_fired=self.simulator.events_fired,
             stats=stats,
+            phases=[dict(record) for record in self.phase_records],
+            timeseries=(self.sampler.to_timeseries()
+                        if self.sampler is not None else None),
         )
         return result

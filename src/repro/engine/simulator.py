@@ -30,6 +30,9 @@ class Simulator:
         self.max_events = max_events
         self.max_ticks = max_ticks
         self.events_fired = 0
+        #: optional IntervalSampler driven inline from the run loop.
+        #: When ``None`` the loop is byte-for-byte the seed hot path.
+        self.sampler = None
 
     @property
     def now(self) -> int:
@@ -44,12 +47,13 @@ class Simulator:
         (coalescer, TLB, cache, protocol) subtract themselves from the
         engine's self time.
         """
+        loop = self._run if self.sampler is None else self._run_sampled
         prof = PROFILER
         if not prof.enabled:
-            return self._run()
+            return loop()
         prof.start("engine")
         try:
-            return self._run()
+            return loop()
         finally:
             prof.stop()
 
@@ -85,6 +89,44 @@ class Simulator:
                 if event.tick > max_ticks:
                     raise SimulationLimitError(
                         f"tick budget exceeded: {event.tick} > {max_ticks}")
+                fired += 1
+                if fired > max_events:
+                    raise SimulationLimitError(
+                        f"event budget exceeded ({max_events}); "
+                        "likely a scheduling livelock")
+                event.callback()
+        finally:
+            self.events_fired = fired
+
+    def _run_sampled(self) -> int:
+        """Event loop with inline interval sampling.
+
+        Samples are taken between events — the sampler posts nothing on
+        the queue — so the event sequence, every tick, and every
+        component statistic are identical to the unsampled loop.  Each
+        boundary crossed before the next event's tick is sampled first,
+        giving the boundary sample a view of counters covering exactly
+        ``[boundary - interval, boundary)``.
+        """
+        queue = self.queue
+        peek = queue.peek_tick
+        pop = queue.pop
+        sampler = self.sampler
+        max_events = self.max_events
+        max_ticks = self.max_ticks
+        fired = self.events_fired
+        try:
+            while True:
+                next_tick = peek()
+                if next_tick is None:
+                    return queue.current_tick
+                if next_tick >= sampler.next_tick:
+                    sampler.advance_to(next_tick)
+                if max_ticks is not None and next_tick > max_ticks:
+                    raise SimulationLimitError(
+                        f"tick budget exceeded: {next_tick} > {max_ticks}")
+                event = pop()
+                assert event is not None
                 fired += 1
                 if fired > max_events:
                     raise SimulationLimitError(

@@ -5,6 +5,7 @@ from __future__ import annotations
 from typing import Callable, List, Optional
 
 from repro.gpu.sm import StreamingMultiprocessor
+from repro.telemetry.tracer import TRACER
 from repro.utils.statistics import StatsRegistry
 from repro.workloads.trace import KernelLaunch, WarpProgram
 
@@ -38,6 +39,11 @@ class GpuDevice:
             raise RuntimeError(f"{self.name}: kernel already in flight")
         self._kernels.increment()
         self._warps.increment(len(kernel.warps))
+        if TRACER.enabled:
+            TRACER.instant("warp", "kernel_launch", TRACER.now(),
+                           track=self.name,
+                           args={"kernel": kernel.name,
+                                 "warps": len(kernel.warps)})
         buckets: List[List[WarpProgram]] = [[] for _ in self.sms]
         for index, warp in enumerate(kernel.warps):
             buckets[index % len(self.sms)].append(warp)

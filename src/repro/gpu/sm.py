@@ -22,6 +22,7 @@ from repro.engine.clock import ClockDomain
 from repro.engine.event import EventQueue
 from repro.gpu.coalescer import Coalescer
 from repro.mem.cache import SetAssociativeCache
+from repro.telemetry.tracer import TRACER
 from repro.utils.pipeline import scalar_pipeline_enabled
 from repro.utils.profiler import PROFILER
 from repro.utils.statistics import StatsRegistry
@@ -254,6 +255,11 @@ class StreamingMultiprocessor:
                         resident.data if resident is not None else None)
                 self._load_latency.record(
                     self.queue.current_tick - issue_tick)
+                if TRACER.enabled:
+                    TRACER.span(
+                        "warp", "load_miss", issue_tick,
+                        self.queue.current_tick, track=self.name,
+                        args={"line": pa})
                 warp.pending_loads -= 1
                 if warp.pending_loads == 0:
                     warp.ready_tick = max(warp.ready_tick,

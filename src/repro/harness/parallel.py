@@ -29,6 +29,7 @@ from repro.core.metrics import RunResult
 from repro.core.protocol_mode import CoherenceMode
 from repro.harness.resultcache import ResultCache
 from repro.harness.runner import BenchmarkComparison, run_benchmark
+from repro.telemetry import TelemetrySettings
 
 #: environment override for the default worker count
 JOBS_ENV = "REPRO_JOBS"
@@ -36,12 +37,22 @@ JOBS_ENV = "REPRO_JOBS"
 
 @dataclass
 class RunPoint:
-    """One simulation to execute: (benchmark, input size, mode, config)."""
+    """One simulation to execute: (benchmark, input size, mode, config).
+
+    ``telemetry`` requests interval sampling for the point (the
+    time-series rides back inside the :class:`RunResult`, so it survives
+    worker-process boundaries and the result cache).  Event *tracing*
+    is a serial-consumer concern — the trace lives in the worker's
+    process-global tracer and would be lost across a pool boundary — so
+    traced runs should go through
+    :func:`~repro.harness.runner.run_benchmark` directly.
+    """
 
     code: str
     input_size: str
     mode: CoherenceMode
     config: Optional[SystemConfig] = None
+    telemetry: Optional[TelemetrySettings] = None
 
 
 class WorkerError(RuntimeError):
@@ -73,7 +84,7 @@ def resolve_jobs(jobs: Optional[int] = None) -> int:
 def _execute_point(point: RunPoint) -> RunResult:
     """Run one point; the function workers import and call."""
     return run_benchmark(point.code, point.input_size, point.mode,
-                         point.config)
+                         point.config, telemetry=point.telemetry)
 
 
 class ParallelRunner:
@@ -116,14 +127,16 @@ class ParallelRunner:
                      config: Optional[SystemConfig] = None,
                      ds_mode: CoherenceMode = CoherenceMode.DIRECT_STORE,
                      progress: Optional[Callable[[str], None]] = None,
+                     telemetry: Optional[TelemetrySettings] = None,
                      ) -> List[BenchmarkComparison]:
         """CCSM-vs-DS comparisons for many benchmarks in one fan-out."""
         base_config = config or SystemConfig(track_values=False)
         points = []
         for code in codes:
             points.append(RunPoint(code, input_size, CoherenceMode.CCSM,
-                                   base_config))
-            points.append(RunPoint(code, input_size, ds_mode, base_config))
+                                   base_config, telemetry))
+            points.append(RunPoint(code, input_size, ds_mode, base_config,
+                                   telemetry))
         seen = set()
 
         def _point_progress(point: RunPoint) -> None:
@@ -145,14 +158,14 @@ class ParallelRunner:
             return None
         config = point.config or SystemConfig(track_values=False)
         return self.cache.get(point.code, point.input_size, point.mode,
-                              config)
+                              config, telemetry=point.telemetry)
 
     def _cache_put(self, point: RunPoint, result: RunResult) -> None:
         if self.cache is None:
             return
         config = point.config or SystemConfig(track_values=False)
         self.cache.put(point.code, point.input_size, point.mode, config,
-                       result)
+                       result, telemetry=point.telemetry)
 
     def _finish(self, index: int, point: RunPoint, result: RunResult,
                 results: List[Optional[RunResult]],
@@ -212,8 +225,10 @@ def compare_many(codes: Sequence[str], input_size: str,
                  jobs: Optional[int] = None,
                  cache: Optional[ResultCache] = None,
                  progress: Optional[Callable[[str], None]] = None,
+                 telemetry: Optional[TelemetrySettings] = None,
                  ) -> List[BenchmarkComparison]:
     """Module-level convenience wrapper over :class:`ParallelRunner`."""
     runner = ParallelRunner(jobs=jobs, cache=cache)
     return runner.compare_many(codes, input_size, config=config,
-                               ds_mode=ds_mode, progress=progress)
+                               ds_mode=ds_mode, progress=progress,
+                               telemetry=telemetry)

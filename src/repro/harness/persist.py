@@ -12,6 +12,7 @@ from pathlib import Path
 from typing import Iterable, List, Union
 
 from repro.harness.runner import BenchmarkComparison
+from repro.telemetry.manifest import run_manifest
 
 SCHEMA_VERSION = 1
 
@@ -52,6 +53,9 @@ def save_comparisons(path: Union[str, Path], label: str,
     document = {
         "schema_version": SCHEMA_VERSION,
         "label": label,
+        # additive key: readers that predate it ignore it, and the
+        # schema version can stay put
+        "manifest": run_manifest(),
         "results": [comparison_to_dict(c) for c in comparisons],
     }
     path.write_text(json.dumps(document, indent=2) + "\n")

@@ -1,8 +1,11 @@
-"""Plain-text reporting: aligned tables and ASCII bar charts."""
+"""Plain-text reporting: aligned tables, bar charts, phase summaries."""
 
 from __future__ import annotations
 
-from typing import Iterable, List, Sequence, Tuple
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.telemetry.export import sparkline, timeline_summary  # noqa: F401
+from repro.telemetry.sampler import TimeSeries
 
 
 def format_table(headers: Sequence[str],
@@ -38,4 +41,50 @@ def ascii_bar_chart(items: Iterable[Tuple[str, float]], width: int = 50,
         bar = "#" * max(0, round(width * value / peak))
         lines.append(f"{label.ljust(label_width)} |{bar} "
                      f"{value:.3g}{unit}")
+    return "\n".join(lines)
+
+
+def phase_summary_line(phases: Sequence[Dict]) -> str:
+    """One line of per-phase telemetry for a run.
+
+    Each phase shows its simulated duration plus, when non-zero, the
+    stores forwarded over the dedicated network and the GPU-L2 hits on
+    pushed (never demand-missed) lines — the push-vs-pull story at a
+    glance: forwards happen in the producer phase, first-touch hits in
+    the consumer phase.
+    """
+    if not phases:
+        return "phases: (not recorded)"
+    parts = []
+    for phase in phases:
+        ticks = phase.get("end", 0) - phase.get("start", 0)
+        extras = []
+        if phase.get("forwarded_stores"):
+            extras.append(f"fwd {phase['forwarded_stores']:,}")
+        if phase.get("gpu_l2_first_touch_hits"):
+            extras.append(f"ft-hits {phase['gpu_l2_first_touch_hits']:,}")
+        suffix = f" ({', '.join(extras)})" if extras else ""
+        parts.append(f"{phase['name']} {ticks:,}t{suffix}")
+    return "phases: " + " | ".join(parts)
+
+
+def timeseries_panel(timeseries: Optional[TimeSeries],
+                     names: Optional[Sequence[str]] = None,
+                     width: int = 40) -> str:
+    """Sparkline panel over selected sampler columns (all by default)."""
+    if timeseries is None or not len(timeseries):
+        return "time-series: (no samples)"
+    selected = (list(names) if names is not None
+                else sorted(timeseries.series))
+    lines = [f"time-series ({len(timeseries)} samples @ "
+             f"{timeseries.interval:,}-tick interval):"]
+    for name in selected:
+        values = timeseries.series.get(name)
+        if values is None:
+            continue
+        peak = max(values) if values else 0.0
+        peak_text = (f"{peak:,.0f}" if peak == int(peak)
+                     else f"{peak:,.3f}")
+        lines.append(
+            f"  {name:<26} |{sparkline(values, width)}| peak {peak_text}")
     return "\n".join(lines)

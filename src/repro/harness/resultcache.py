@@ -28,6 +28,8 @@ from typing import Optional, Union
 from repro.core.config import SystemConfig
 from repro.core.metrics import RunResult
 from repro.core.protocol_mode import CoherenceMode
+from repro.telemetry import TelemetrySettings
+from repro.telemetry.manifest import run_manifest
 
 #: bump when RunResult serialization or simulation semantics change in a
 #: way that invalidates previously stored runs
@@ -47,12 +49,16 @@ def config_fingerprint_payload(config: SystemConfig) -> dict:
 
 
 def run_fingerprint(code: str, input_size: str, mode: CoherenceMode,
-                    config: SystemConfig) -> str:
+                    config: SystemConfig,
+                    telemetry: Optional[TelemetrySettings] = None) -> str:
     """Stable hex fingerprint of one simulation point.
 
     Any change to the configuration dataclasses (new fields included),
     the benchmark identity, the mode, or the cache schema version yields
-    a different fingerprint.
+    a different fingerprint.  Non-default telemetry settings join the
+    payload — a sampled run carries a time-series a plain run lacks, so
+    the two must never share an entry — while all-default telemetry
+    contributes nothing, keeping every pre-telemetry fingerprint valid.
     """
     payload = {
         "schema_version": CACHE_SCHEMA_VERSION,
@@ -61,6 +67,10 @@ def run_fingerprint(code: str, input_size: str, mode: CoherenceMode,
         "mode": mode.value,
         "config": config_fingerprint_payload(config),
     }
+    if telemetry is not None:
+        telemetry_payload = telemetry.fingerprint_payload()
+        if telemetry_payload is not None:
+            payload["telemetry"] = telemetry_payload
     canonical = json.dumps(payload, sort_keys=True, default=repr)
     return hashlib.sha256(canonical.encode()).hexdigest()
 
@@ -79,14 +89,16 @@ class ResultCache:
         return self.directory / f"{fingerprint}.json"
 
     def get(self, code: str, input_size: str, mode: CoherenceMode,
-            config: SystemConfig) -> Optional[RunResult]:
+            config: SystemConfig,
+            telemetry: Optional[TelemetrySettings] = None,
+            ) -> Optional[RunResult]:
         """Return the cached run, or ``None`` on a miss.
 
         A corrupted entry (bad JSON, missing fields, wrong schema) is
         removed and reported as a miss.
         """
         path = self._entry_path(
-            run_fingerprint(code, input_size, mode, config))
+            run_fingerprint(code, input_size, mode, config, telemetry))
         try:
             document = json.loads(path.read_text())
             if document.get("schema_version") != CACHE_SCHEMA_VERSION:
@@ -103,10 +115,12 @@ class ResultCache:
         return result
 
     def put(self, code: str, input_size: str, mode: CoherenceMode,
-            config: SystemConfig, result: RunResult) -> Path:
+            config: SystemConfig, result: RunResult,
+            telemetry: Optional[TelemetrySettings] = None) -> Path:
         """Store one finished run; returns the entry path."""
         self.directory.mkdir(parents=True, exist_ok=True)
-        fingerprint = run_fingerprint(code, input_size, mode, config)
+        fingerprint = run_fingerprint(code, input_size, mode, config,
+                                      telemetry)
         path = self._entry_path(fingerprint)
         document = {
             "schema_version": CACHE_SCHEMA_VERSION,
@@ -115,6 +129,8 @@ class ResultCache:
             "input_size": input_size,
             "mode": mode.value,
             "result": result.to_dict(),
+            # provenance: which code/interpreter produced this entry
+            "manifest": run_manifest(config),
         }
         # write-then-rename so a crashed writer never leaves a torn entry
         tmp = path.with_suffix(".tmp")

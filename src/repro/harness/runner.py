@@ -9,19 +9,25 @@ from repro.core.config import SystemConfig
 from repro.core.metrics import RunResult
 from repro.core.protocol_mode import CoherenceMode
 from repro.core.system import IntegratedSystem
+from repro.telemetry import TelemetrySettings
 from repro.workloads.suite import get_workload
 
 
 def run_benchmark(code: str, input_size: str, mode: CoherenceMode,
-                  config: Optional[SystemConfig] = None) -> RunResult:
+                  config: Optional[SystemConfig] = None,
+                  telemetry: Optional[TelemetrySettings] = None
+                  ) -> RunResult:
     """Run one Table II benchmark once under *mode* and return metrics.
 
     A fresh :class:`IntegratedSystem` is built per call (systems are
     single-use); value tracking defaults off for speed — benchmark
-    correctness is covered by the test suite.
+    correctness is covered by the test suite.  *telemetry* requests
+    tracing and/or interval sampling for this run (sampled time-series
+    come back in ``RunResult.timeseries``; trace events land in the
+    process-global ``TRACER``).
     """
     config = config or SystemConfig(track_values=False)
-    system = IntegratedSystem(config, mode)
+    system = IntegratedSystem(config, mode, telemetry=telemetry)
     return system.run(get_workload(code, input_size))
 
 
@@ -55,6 +61,7 @@ class BenchmarkComparison:
 def compare_modes(code: str, input_size: str,
                   config: Optional[SystemConfig] = None,
                   ds_mode: CoherenceMode = CoherenceMode.DIRECT_STORE,
+                  telemetry: Optional[TelemetrySettings] = None,
                   ) -> BenchmarkComparison:
     """Run one benchmark under CCSM and under direct store."""
     base_config = config or SystemConfig(track_values=False)
@@ -62,14 +69,17 @@ def compare_modes(code: str, input_size: str,
         code=code.upper(),
         input_size=input_size,
         ccsm=run_benchmark(code, input_size, CoherenceMode.CCSM,
-                           base_config),
-        direct_store=run_benchmark(code, input_size, ds_mode, base_config),
+                           base_config, telemetry=telemetry),
+        direct_store=run_benchmark(code, input_size, ds_mode, base_config,
+                                   telemetry=telemetry),
     )
 
 
 def compare_all_modes(code: str, input_size: str,
                       config: Optional[SystemConfig] = None,
+                      telemetry: Optional[TelemetrySettings] = None,
                       ) -> Dict[CoherenceMode, RunResult]:
     """Run one benchmark under every coherence mode."""
-    return {mode: run_benchmark(code, input_size, mode, config)
+    return {mode: run_benchmark(code, input_size, mode, config,
+                                telemetry=telemetry)
             for mode in CoherenceMode}

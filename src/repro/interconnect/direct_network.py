@@ -19,6 +19,7 @@ from repro.engine.clock import ClockDomain
 from repro.interconnect.link import Link
 from repro.interconnect.message import MessageClass, NetworkMessage
 from repro.interconnect.network import Network
+from repro.telemetry.tracer import TRACER
 
 
 class DirectStoreNetwork(Network):
@@ -52,10 +53,18 @@ class DirectStoreNetwork(Network):
         if link is None:
             raise KeyError(f"{self.name}: unknown slice {message.dst!r}")
         self._account(message)
-        if message.msg_class in (MessageClass.DATA,
-                                 MessageClass.STORE_FORWARD):
+        forwarded = message.msg_class in (MessageClass.DATA,
+                                          MessageClass.STORE_FORWARD)
+        if forwarded:
             self._forwarded.increment()
-        return link.send(message.size_bytes(self.line_size), now_tick)
+        arrival = link.send(message.size_bytes(self.line_size), now_tick)
+        if TRACER.enabled:
+            TRACER.span(
+                "direct_store", "forward" if forwarded else "message",
+                now_tick, arrival, track=self.name,
+                args={"dst": message.dst,
+                      "line": message.line_address})
+        return arrival
 
     @property
     def forwarded_stores(self) -> int:

@@ -17,6 +17,7 @@ from typing import Dict, List
 from repro.engine.clock import ClockDomain
 from repro.interconnect.link import Link
 from repro.interconnect.message import NetworkMessage
+from repro.telemetry.tracer import TRACER
 from repro.utils.statistics import StatsRegistry
 
 
@@ -98,7 +99,14 @@ class Crossbar(Network):
         size = message.size_bytes(self.line_size)
         vnet = message.msg_class.virtual_network
         at_switch = self._egress[message.src][vnet].send(size, now_tick)
-        return self._ingress[message.dst][vnet].send(size, at_switch)
+        arrival = self._ingress[message.dst][vnet].send(size, at_switch)
+        if TRACER.enabled:
+            TRACER.span(
+                "network", message.msg_class.name.lower(), now_tick,
+                arrival, track=self.name,
+                args={"src": message.src, "dst": message.dst,
+                      "line": message.line_address, "bytes": size})
+        return arrival
 
     def link_queue_delay(self, node: str) -> int:
         """Total queueing delay accumulated at *node*'s links (ticks)."""

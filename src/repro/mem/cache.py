@@ -17,6 +17,7 @@ from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple
 from repro.mem.address import AddressLayout
 from repro.mem.cacheline import CacheLine
 from repro.mem.replacement import ReplacementPolicy, make_replacement_policy
+from repro.telemetry.tracer import TRACER
 from repro.utils.statistics import StatsRegistry
 
 
@@ -64,8 +65,15 @@ class SetAssociativeCache:
         self._evictions = self.stats.counter("evictions", "lines evicted")
         self._writebacks = self.stats.counter(
             "writebacks", "dirty lines evicted")
+        self._first_touch_hits = self.stats.counter(
+            "first_touch_hits",
+            "demand hits on lines never demand-accessed before "
+            "(data pushed in by direct store or prefetch)")
         #: line addresses ever resident — classifies compulsory misses
         self._touched: Set[int] = set()
+        #: line addresses ever *demand-accessed* — classifies first-touch
+        #: hits (the direct-store win: pushed data hit on first use)
+        self._demand_seen: Set[int] = set()
 
     # ------------------------------------------------------------------
     # lookups
@@ -116,8 +124,10 @@ class SetAssociativeCache:
         sets = self._sets
         policy_on_access = self.policy.on_access
         touched = self._touched
+        demand_seen = self._demand_seen
+        tracing = record_stats and TRACER.enabled
         line_mask = layout.line_mask
-        hits = misses = compulsory = 0
+        hits = misses = compulsory = first_touch = 0
         out: List[Optional[CacheLine]] = []
         for position, (set_index, tag) in enumerate(zip(set_indices,
                                                         tags)):
@@ -129,16 +139,35 @@ class SetAssociativeCache:
                     break
             if hit is None:
                 misses += 1
-                if (addresses[position] & line_mask) not in touched:
-                    compulsory += 1
+                if record_stats:
+                    line_addr = addresses[position] & line_mask
+                    is_compulsory = line_addr not in touched
+                    if is_compulsory:
+                        compulsory += 1
+                    demand_seen.add(line_addr)
+                    if tracing:
+                        TRACER.instant(
+                            "cache", "miss", TRACER.now(), track=self.name,
+                            args={"line": line_addr,
+                                  "compulsory": is_compulsory})
             else:
                 hits += 1
+                if record_stats:
+                    line_addr = addresses[position] & line_mask
+                    if line_addr not in demand_seen:
+                        demand_seen.add(line_addr)
+                        first_touch += 1
+                        if tracing:
+                            TRACER.instant(
+                                "cache", "first_touch_hit", TRACER.now(),
+                                track=self.name, args={"line": line_addr})
             out.append(hit)
         if record_stats:
             self._accesses.value += len(out)
             self._hits.value += hits
             self._misses.value += misses
             self._compulsory.value += compulsory
+            self._first_touch_hits.value += first_touch
         return out
 
     def has_free_way(self, address: int) -> bool:
@@ -165,11 +194,26 @@ class SetAssociativeCache:
                 self.policy.on_access(set_index, way)
                 if record_stats:
                     self._hits.value += 1
+                    line_addr = address & layout.line_mask
+                    if line_addr not in self._demand_seen:
+                        self._demand_seen.add(line_addr)
+                        self._first_touch_hits.value += 1
+                        if TRACER.enabled:
+                            TRACER.instant(
+                                "cache", "first_touch_hit", TRACER.now(),
+                                track=self.name, args={"line": line_addr})
                 return line
         if record_stats:
             self._misses.value += 1
-            if (address & layout.line_mask) not in self._touched:
+            line_addr = address & layout.line_mask
+            is_compulsory = line_addr not in self._touched
+            if is_compulsory:
                 self._compulsory.value += 1
+            self._demand_seen.add(line_addr)
+            if TRACER.enabled:
+                TRACER.instant(
+                    "cache", "miss", TRACER.now(), track=self.name,
+                    args={"line": line_addr, "compulsory": is_compulsory})
         return None
 
     # ------------------------------------------------------------------
@@ -282,6 +326,16 @@ class SetAssociativeCache:
     @property
     def compulsory_misses(self) -> int:
         return self._compulsory.value
+
+    @property
+    def first_touch_hits(self) -> int:
+        """Demand hits on lines whose data arrived without a demand miss.
+
+        For GPU L2 slices under direct store this counts exactly the
+        paper's win: a consumer access that would have been a compulsory
+        miss finding the producer's pushed line already resident.
+        """
+        return self._first_touch_hits.value
 
     @property
     def miss_rate(self) -> float:

@@ -16,6 +16,7 @@ from dataclasses import dataclass
 from typing import List, Optional
 
 from repro.engine.clock import ClockDomain
+from repro.telemetry.tracer import TRACER
 from repro.utils.bitops import is_power_of_two, log2_exact
 from repro.utils.statistics import StatsRegistry
 
@@ -111,17 +112,26 @@ class DramModel:
         if bank.open_row == row:
             cycles = self.config.t_cas
             self._row_hits.increment()
+            outcome = "row_hit"
         elif bank.open_row is None:
             cycles = self.config.t_rcd + self.config.t_cas
             self._row_empty.increment()
+            outcome = "row_empty"
         else:
             cycles = self.config.t_rp + self.config.t_rcd + self.config.t_cas
             self._row_misses.increment()
+            outcome = "row_miss"
         bank.open_row = row
 
         ready = start + self.clock.cycles_to_ticks(cycles)
         bank.ready_tick = ready + self.clock.cycles_to_ticks(
             self.config.t_burst)
+        if TRACER.enabled:
+            TRACER.span(
+                "dram", outcome, now_tick, ready, track=self.name,
+                args={"bank": bank_index,
+                      "queued": start - now_tick,
+                      "write": is_write})
         return ready
 
     def post_write(self, address: int, now_tick: int) -> int:
@@ -139,7 +149,11 @@ class DramModel:
             raise ValueError(
                 f"{self.name}: address {address:#x} outside DRAM")
         self._writes.increment()
-        return now_tick + self.clock.cycles_to_ticks(self.config.t_burst)
+        retire = now_tick + self.clock.cycles_to_ticks(self.config.t_burst)
+        if TRACER.enabled:
+            TRACER.instant("dram", "posted_write", now_tick,
+                           track=self.name, args={"line": address})
+        return retire
 
     def reset_banks(self) -> None:
         """Close all rows and clear queueing state (between experiments)."""

@@ -1,0 +1,195 @@
+"""Trace exporters: Chrome trace-event JSON, JSONL, terminal timeline.
+
+Timestamp convention
+--------------------
+Chrome trace-event timestamps are microseconds and Perfetto stores them
+as integer nanoseconds internally, so exporting picosecond ticks as real
+microseconds (``tick / 1e6``) would collapse nearby events.  We instead
+relabel the axis: **one trace microsecond equals one simulated tick**
+(``ts = tick`` exactly).  Timestamps stay integral and monotonic, and
+the Perfetto UI's "us" readout simply means ticks — noted in the
+exported ``otherData`` so nobody has to rediscover it.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List, Optional, Sequence
+
+from repro.telemetry.sampler import TimeSeries
+from repro.telemetry.tracer import Tracer
+
+#: characters for terminal sparklines, lowest to highest
+_SPARK = " .:-=+*#%@"
+
+_PID = 1
+
+
+def to_chrome_trace(tracer: Tracer,
+                    phases: Optional[Sequence[dict]] = None,
+                    timeseries: Optional[TimeSeries] = None,
+                    label: str = "repro") -> dict:
+    """Render recorded telemetry as a Chrome trace-event JSON object.
+
+    One process (*label*) holds one thread per tracer track, plus a
+    ``phases`` thread for workload-phase spans and one counter series
+    per sampled column.  The result loads directly in Perfetto or
+    ``chrome://tracing``.
+    """
+    events: List[dict] = [{
+        "name": "process_name", "ph": "M", "pid": _PID, "tid": 0,
+        "args": {"name": label},
+    }]
+
+    tids: Dict[str, int] = {}
+
+    def tid_for(track: str) -> int:
+        tid = tids.get(track)
+        if tid is None:
+            tid = len(tids) + 1
+            tids[track] = tid
+            events.append({
+                "name": "thread_name", "ph": "M", "pid": _PID, "tid": tid,
+                "args": {"name": track},
+            })
+        return tid
+
+    body: List[dict] = []
+    # the tracer records its own phase spans when enabled during the run;
+    # only materialize the explicit phase records when it did not, so the
+    # phases thread never shows each phase twice
+    if phases and not any(event.category == "phase"
+                          for event in tracer.events):
+        tid = tid_for("phases")
+        for phase in phases:
+            body.append({
+                "name": phase["name"], "cat": "phase", "ph": "X",
+                "ts": phase["start"], "dur": phase["end"] - phase["start"],
+                "pid": _PID, "tid": tid,
+                "args": {key: value for key, value in phase.items()
+                         if key not in ("name", "start", "end")},
+            })
+    for event in tracer.events:
+        record = {
+            "name": event.name, "cat": event.category,
+            "ts": event.tick, "pid": _PID, "tid": tid_for(event.track),
+        }
+        if event.is_span:
+            record["ph"] = "X"
+            record["dur"] = event.dur
+        else:
+            record["ph"] = "i"
+            record["s"] = "t"
+        if event.args:
+            record["args"] = dict(event.args)
+        body.append(record)
+    if timeseries is not None:
+        for name, values in sorted(timeseries.series.items()):
+            for tick, value in zip(timeseries.ticks, values):
+                body.append({
+                    "name": name, "cat": "sample", "ph": "C",
+                    "ts": tick, "pid": _PID, "tid": 0,
+                    "args": {name: value},
+                })
+    body.sort(key=lambda record: record["ts"])
+    events.extend(body)
+
+    return {
+        "traceEvents": events,
+        "displayTimeUnit": "ms",
+        "otherData": {
+            "tick_unit": "1 trace-us == 1 simulated tick (1 ps)",
+            "dropped_events": tracer.dropped,
+            "category_counts": tracer.category_counts(),
+        },
+    }
+
+
+def write_chrome_trace(path: str, tracer: Tracer,
+                       phases: Optional[Sequence[dict]] = None,
+                       timeseries: Optional[TimeSeries] = None,
+                       label: str = "repro") -> dict:
+    """Serialize :func:`to_chrome_trace` to *path*; returns the object."""
+    trace = to_chrome_trace(tracer, phases=phases, timeseries=timeseries,
+                            label=label)
+    with open(path, "w") as handle:
+        json.dump(trace, handle)
+    return trace
+
+
+def write_jsonl(path: str, tracer: Tracer) -> int:
+    """Dump raw events one-JSON-object-per-line; returns the line count."""
+    count = 0
+    with open(path, "w") as handle:
+        for event in tracer.events:
+            handle.write(json.dumps({
+                "tick": event.tick, "dur": event.dur,
+                "category": event.category, "name": event.name,
+                "track": event.track, "args": event.args,
+            }))
+            handle.write("\n")
+            count += 1
+    return count
+
+
+def sparkline(values: Sequence[float], width: int = 40) -> str:
+    """Render *values* as a fixed-width character strip.
+
+    Values are bucketed down to *width* columns (mean per bucket) and
+    scaled against the series maximum; an all-zero series renders flat.
+    """
+    if not values:
+        return " " * width
+    if len(values) > width:
+        bucketed = []
+        for column in range(width):
+            lo = column * len(values) // width
+            hi = max(lo + 1, (column + 1) * len(values) // width)
+            chunk = values[lo:hi]
+            bucketed.append(sum(chunk) / len(chunk))
+        values = bucketed
+    peak = max(values)
+    if peak <= 0:
+        return (_SPARK[0] * len(values)).ljust(width)
+    top = len(_SPARK) - 1
+    chars = []
+    for value in values:
+        level = int(round(value / peak * top))
+        if value > 0 and level == 0:
+            level = 1
+        chars.append(_SPARK[max(0, min(top, level))])
+    return "".join(chars).ljust(width)
+
+
+def timeline_summary(tracer: Optional[Tracer] = None,
+                     phases: Optional[Sequence[dict]] = None,
+                     timeseries: Optional[TimeSeries] = None,
+                     width: int = 40) -> str:
+    """Terminal rendering: phases, event-category counts, sparklines."""
+    lines: List[str] = []
+    if phases:
+        lines.append("phases:")
+        total = max((phase["end"] for phase in phases), default=0)
+        for phase in phases:
+            ticks = phase["end"] - phase["start"]
+            share = ticks / total if total else 0.0
+            lines.append(
+                f"  {phase['name']:<20} {ticks:>14,} ticks"
+                f"  ({share:6.1%})  [{phase['start']:,} .. {phase['end']:,})")
+    if tracer is not None and (tracer.events or tracer.dropped):
+        lines.append("trace events:")
+        for category, count in sorted(tracer.category_counts().items()):
+            lines.append(f"  {category:<20} {count:>10,}")
+        if tracer.dropped:
+            lines.append(f"  {'(dropped)':<20} {tracer.dropped:>10,}")
+    if timeseries is not None and len(timeseries):
+        lines.append(
+            f"time-series ({len(timeseries)} samples @ "
+            f"{timeseries.interval:,}-tick interval):")
+        for name, values in sorted(timeseries.series.items()):
+            peak = max(values) if values else 0.0
+            peak_text = (f"{peak:,.0f}" if peak == int(peak)
+                         else f"{peak:,.3f}")
+            lines.append(
+                f"  {name:<26} |{sparkline(values, width)}| peak {peak_text}")
+    return "\n".join(lines)

@@ -1,0 +1,66 @@
+"""Telemetry knobs, resolved once per run from flags or environment.
+
+A :class:`TelemetrySettings` travels from the CLI (``--trace-out``,
+``--sample-interval``) or the environment (``REPRO_TRACE``,
+``REPRO_SAMPLE_INTERVAL``) down through the harness into
+:class:`~repro.core.system.IntegratedSystem`.  Its
+``fingerprint_payload`` joins the result-cache key whenever it is
+non-default, so a traced or sampled run can never collide with (or be
+satisfied by) a plain cached one — while all-default settings add
+nothing, preserving every pre-telemetry cache entry.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.telemetry.tracer import DEFAULT_CAPACITY
+
+TRACE_ENV = "REPRO_TRACE"
+SAMPLE_INTERVAL_ENV = "REPRO_SAMPLE_INTERVAL"
+
+
+@dataclass(frozen=True)
+class TelemetrySettings:
+    """What to record during a run.  The default records nothing."""
+
+    trace: bool = False
+    sample_interval: int = 0
+    trace_capacity: int = DEFAULT_CAPACITY
+
+    @property
+    def active(self) -> bool:
+        """True when any recording is requested."""
+        return self.trace or self.sample_interval > 0
+
+    def fingerprint_payload(self) -> Optional[dict]:
+        """Cache-key contribution, or ``None`` when fully default."""
+        if not self.active:
+            return None
+        return {
+            "trace": self.trace,
+            "sample_interval": self.sample_interval,
+        }
+
+    @classmethod
+    def from_env(cls, base: "Optional[TelemetrySettings]" = None
+                 ) -> "TelemetrySettings":
+        """Overlay environment variables on *base* (or the defaults).
+
+        ``REPRO_TRACE=1`` turns tracing on; ``REPRO_SAMPLE_INTERVAL=N``
+        (ticks) turns sampling on.  Explicit settings in *base* win over
+        absent/empty variables but not over set ones.
+        """
+        base = base or cls()
+        trace = base.trace
+        raw_trace = os.environ.get(TRACE_ENV, "")
+        if raw_trace not in ("", "0"):
+            trace = True
+        sample_interval = base.sample_interval
+        raw_interval = os.environ.get(SAMPLE_INTERVAL_ENV, "")
+        if raw_interval:
+            sample_interval = int(raw_interval)
+        return cls(trace=trace, sample_interval=sample_interval,
+                   trace_capacity=base.trace_capacity)

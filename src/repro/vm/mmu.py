@@ -12,6 +12,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import List, Sequence
 
+from repro.telemetry.tracer import TRACER
 from repro.utils.statistics import StatsRegistry
 from repro.vm.pagetable import PageTable
 from repro.vm.tlb import TLB
@@ -70,6 +71,9 @@ class MMU:
             return Translation(virtual_address, physical, True, 0, direct,
                                in_window)
         self._walks.increment()
+        if TRACER.enabled:
+            TRACER.instant("tlb", "walk", TRACER.now(), track=self.name,
+                           args={"va": virtual_address})
         physical = self.page_table.translate_or_map(virtual_address)
         self.tlb.insert(virtual_address,
                         physical // self.page_table.page_size)
@@ -112,5 +116,8 @@ class MMU:
     def _walk_one(self, virtual_address: int) -> int:
         """Page-table walk callback for the TLB's resolve paths."""
         self._walks.value += 1
+        if TRACER.enabled:
+            TRACER.instant("tlb", "walk", TRACER.now(), track=self.name,
+                           args={"va": virtual_address})
         return (self.page_table.translate_or_map(virtual_address)
                 // self.page_table.page_size)

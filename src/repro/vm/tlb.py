@@ -17,6 +17,7 @@ from __future__ import annotations
 from collections import OrderedDict
 from typing import Callable, List, Optional, Sequence, Tuple
 
+from repro.telemetry.tracer import TRACER
 from repro.utils.statistics import StatsRegistry
 from repro.vm.mmap import DIRECT_STORE_WINDOW_BASE, DIRECT_STORE_WINDOW_SIZE
 from repro.vm.pagetable import PAGE_SIZE
@@ -171,6 +172,10 @@ class TLB:
                      < self.window_base + self.window_size)
         if in_window:
             self._ds_detections.increment()
+            if TRACER.enabled:
+                TRACER.instant("direct_store", "ds_detect", TRACER.now(),
+                               track=self.name,
+                               args={"va": virtual_address})
         return in_window
 
     @property

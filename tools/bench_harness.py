@@ -41,6 +41,7 @@ from repro.core.protocol_mode import CoherenceMode
 from repro.harness.parallel import ParallelRunner, RunPoint, resolve_jobs
 from repro.harness.resultcache import ResultCache
 from repro.harness.runner import run_benchmark
+from repro.telemetry.manifest import run_manifest
 from repro.utils.pipeline import SCALAR_ENV
 from repro.workloads.suite import benchmark_codes
 
@@ -166,6 +167,7 @@ def main(argv=None):
         "jobs": resolve_jobs(args.jobs),
         "cpu_count": os.cpu_count(),
         "numpy_version": numpy_version(),
+        "manifest": run_manifest(),
         "phases": {},
     }
 
