@@ -31,6 +31,13 @@ from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.coherence.messages import CoherenceMsgType
 from repro.coherence.protocol_table import (
+    LOAD_TRANSITIONS,
+    PROBE_GETS_TRANSITIONS,
+    PROBE_GETX_TRANSITIONS,
+    REMOTE_STORE_ARRIVE_TRANSITIONS,
+    REMOTE_STORE_LOCAL_TRANSITIONS,
+    REPLACEMENT_TRANSITIONS,
+    STORE_TRANSITIONS,
     Action,
     ProtocolEvent,
     ProtocolViolationError,
@@ -46,6 +53,7 @@ from repro.mem.cacheline import CacheLine
 from repro.mem.memimage import MemoryImage
 from repro.mem.dram import DramModel
 from repro.telemetry.tracer import TRACER
+from repro.utils.profiler import PROFILER
 from repro.utils.statistics import StatsRegistry
 
 #: node name of the memory controller / ordering point
@@ -102,10 +110,9 @@ class CoherentAgent:
         #: fired with the line address before a probe reads this agent's
         #: line — a write-back upper level flushes newer data down here
         self.on_probe: Optional[Callable[[int], None]] = None
-
-    @property
-    def tag_ticks(self) -> int:
-        return self.clock.cycles_to_ticks(self.tag_latency_cycles)
+        #: lookup/snoop latency in ticks; the clock is fixed-frequency,
+        #: so this is a plain attribute, not a per-access conversion
+        self.tag_ticks = clock.cycles_to_ticks(tag_latency_cycles)
 
     def __repr__(self) -> str:
         return f"CoherentAgent({self.name})"
@@ -134,6 +141,8 @@ class HammerSystem:
         self.image = image
         self.mem_clock = mem_clock
         self.memctrl_latency_cycles = memctrl_latency_cycles
+        self._memctrl_ticks = mem_clock.cycles_to_ticks(
+            memctrl_latency_cycles)
         self.broadcast_enabled = broadcast_enabled
         self.agents: Dict[str, CoherentAgent] = {}
         self.ds_network: Optional[DirectStoreNetwork] = None
@@ -182,7 +191,9 @@ class HammerSystem:
         line = agent.cache.lookup(address)
         if line is not None:
             # table sanity: LOAD must be legal in this state
-            next_state(line.state, ProtocolEvent.LOAD, agent_name)
+            if line.state not in LOAD_TRANSITIONS:
+                raise ProtocolViolationError(line.state, ProtocolEvent.LOAD,
+                                             agent_name)
             return AccessResult(t_tags, self._read_word(line, address),
                                 True, "local")
         ready, payload, source = self._fetch(
@@ -201,8 +212,11 @@ class HammerSystem:
         line = agent.cache.lookup(address)
         if line is not None:
             state = line.state
-            new_state, action = next_state(
-                state, ProtocolEvent.STORE, agent_name)
+            transition = STORE_TRANSITIONS.get(state)
+            if transition is None:
+                raise ProtocolViolationError(state, ProtocolEvent.STORE,
+                                             agent_name)
+            new_state, action = transition
             if action is Action.NONE:            # MM
                 self._write_word(line, address, value)
                 return AccessResult(t_tags, value, True, "local")
@@ -317,7 +331,7 @@ class HammerSystem:
         src = self.agents[src_name]
         dst = self.agents[slice_name]
         line_address = src.cache.layout.line_address(address)
-        self._remote_stores.increment()
+        self._remote_stores.value += 1
         words = [(address, value)] + list(extra_words or [])
 
         # --- CPU side: Fig. 3 bold transitions -------------------------
@@ -325,8 +339,11 @@ class HammerSystem:
             src.on_probe(line_address)
         local = src.cache.probe(line_address)
         if local is not None:
-            _state_after, action = next_state(
-                local.state, ProtocolEvent.REMOTE_STORE_LOCAL, src_name)
+            transition = REMOTE_STORE_LOCAL_TRANSITIONS.get(local.state)
+            if transition is None:
+                raise ProtocolViolationError(
+                    local.state, ProtocolEvent.REMOTE_STORE_LOCAL, src_name)
+            _state_after, action = transition
             if action is Action.FLUSH_THEN_FORWARD:
                 # "it gets exclusive permission to the cache block": the
                 # local copy (dirty or not) leaves the CPU before the
@@ -340,9 +357,9 @@ class HammerSystem:
                 self._trace(src_name, line_address, "RemoteStoreLocal",
                             victim.state, HammerState.I, now)
             # FORWARD_STORE from I needs no local work
-        else:
-            next_state(HammerState.I, ProtocolEvent.REMOTE_STORE_LOCAL,
-                       src_name)
+        elif HammerState.I not in REMOTE_STORE_LOCAL_TRANSITIONS:
+            raise ProtocolViolationError(
+                HammerState.I, ProtocolEvent.REMOTE_STORE_LOCAL, src_name)
 
         # --- the dedicated network hop ---------------------------------
         msg_class = (MessageClass.STORE_FORWARD if len(words) == 1
@@ -357,9 +374,12 @@ class HammerSystem:
         t_done = arrival + dst.tag_ticks
         existing = dst.cache.probe(line_address)
         if existing is not None:
-            _state_after, action = next_state(
-                existing.state, ProtocolEvent.REMOTE_STORE_ARRIVE,
-                slice_name)
+            transition = REMOTE_STORE_ARRIVE_TRANSITIONS.get(existing.state)
+            if transition is None:
+                raise ProtocolViolationError(
+                    existing.state, ProtocolEvent.REMOTE_STORE_ARRIVE,
+                    slice_name)
+            _state_after, action = transition
             assert action in (Action.MERGE_STORE, Action.INSTALL_MM)
             old_state = existing.state
             existing.state = HammerState.MM
@@ -368,8 +388,9 @@ class HammerSystem:
             self._trace(slice_name, line_address, "RemoteStoreArrive",
                         old_state, HammerState.MM, t_done)
             return AccessResult(t_done, value, True, "local")
-        next_state(HammerState.I, ProtocolEvent.REMOTE_STORE_ARRIVE,
-                   slice_name)
+        if HammerState.I not in REMOTE_STORE_ARRIVE_TRANSITIONS:
+            raise ProtocolViolationError(
+                HammerState.I, ProtocolEvent.REMOTE_STORE_ARRIVE, slice_name)
         if not dst.cache.has_free_way(line_address):
             # §III-A: "If the GPU L2 cache is full, the system then
             # writes data to DRAM."  Bypassing a full set instead of
@@ -415,22 +436,30 @@ class HammerSystem:
                 HammerState.I,
                 ProtocolEvent.STORE if exclusive else ProtocolEvent.LOAD,
                 f"{agent.name} may not cache line {line_address:#x}")
-        (self._getx if exclusive else self._gets).increment()
+        (self._getx if exclusive else self._gets).value += 1
         t_mc = self._to_memctrl(
             agent.name, MessageClass.REQUEST, line_address, now)
 
-        probe_event = (ProtocolEvent.PROBE_GETX if exclusive
-                       else ProtocolEvent.PROBE_GETS)
+        if exclusive:
+            probe_event = ProtocolEvent.PROBE_GETX
+            probe_row = PROBE_GETX_TRANSITIONS
+        else:
+            probe_event = ProtocolEvent.PROBE_GETS
+            probe_row = PROBE_GETS_TRANSITIONS
         response_ticks: List[int] = []
         owner_payload = None
         owner_dirty = False
         owner_found = False
         sharers_found = False
 
+        prof = PROFILER
+        profiling = prof.enabled
+        if profiling:
+            prof.start("protocol_table")
         for target in self._probe_targets(agent, line_address):
             t_probe = self._send(MEMCTRL, target.name, MessageClass.REQUEST,
                                  line_address, t_mc)
-            self._probes.increment()
+            self._probes.value += 1
             t_snooped = t_probe + target.tag_ticks
             if target.on_probe is not None:
                 target.on_probe(line_address)
@@ -441,7 +470,10 @@ class HammerSystem:
                     line_address, t_snooped))
                 continue
             state = probe_line.state
-            new_state, action = next_state(state, probe_event, target.name)
+            transition = probe_row.get(state)
+            if transition is None:
+                raise ProtocolViolationError(state, probe_event, target.name)
+            new_state, action = transition
             if action is Action.SUPPLY_DATA:
                 owner_found = True
                 owner_dirty = probe_line.dirty
@@ -474,14 +506,16 @@ class HammerSystem:
                 response_ticks.append(self._send(
                     target.name, agent.name, MessageClass.RESPONSE,
                     line_address, t_snooped))
+        if profiling:
+            prof.stop()
 
         if owner_found:
-            self._owner_transfers.increment()
+            self._owner_transfers.value += 1
             payload = owner_payload
             source = "owner"
         else:
             # speculative memory fetch (Hammer always reads memory)
-            self._memory_fetches.increment()
+            self._memory_fetches.value += 1
             dram_ready = self.dram.access(line_address, t_mc)
             response_ticks.append(self._send(
                 MEMCTRL, agent.name, MessageClass.DATA, line_address,
@@ -512,21 +546,23 @@ class HammerSystem:
     def _upgrade(self, agent: CoherentAgent, line_address: int,
                  now: int) -> int:
         """S/O → MM: invalidate every other copy, keep local data."""
-        self._upgrades.increment()
+        self._upgrades.value += 1
         t_mc = self._to_memctrl(agent.name, MessageClass.REQUEST,
                                 line_address, now)
         response_ticks = [t_mc]
         for target in self._probe_targets(agent, line_address):
             t_probe = self._send(MEMCTRL, target.name, MessageClass.REQUEST,
                                  line_address, t_mc)
-            self._probes.increment()
+            self._probes.value += 1
             t_snooped = t_probe + target.tag_ticks
             if target.on_probe is not None:
                 target.on_probe(line_address)
             probe_line = target.cache.probe(line_address)
             if probe_line is not None:
-                next_state(probe_line.state, ProtocolEvent.PROBE_GETX,
-                           target.name)
+                if probe_line.state not in PROBE_GETX_TRANSITIONS:
+                    raise ProtocolViolationError(
+                        probe_line.state, ProtocolEvent.PROBE_GETX,
+                        target.name)
                 target.cache.invalidate(line_address)
                 if target.on_back_invalidate is not None:
                     target.on_back_invalidate(line_address)
@@ -544,7 +580,10 @@ class HammerSystem:
         victim = agent.cache.invalidate(line_address)
         if victim is None:
             return
-        next_state(victim.state, ProtocolEvent.REPLACEMENT, agent_name)
+        if victim.state not in REPLACEMENT_TRANSITIONS:
+            raise ProtocolViolationError(victim.state,
+                                         ProtocolEvent.REPLACEMENT,
+                                         agent_name)
         self._handle_victim(agent, line_address, victim, now)
         if agent.on_back_invalidate is not None:
             agent.on_back_invalidate(line_address)
@@ -575,8 +614,11 @@ class HammerSystem:
         state = victim.state
         if state is None:
             return
-        _next, action = next_state(state, ProtocolEvent.REPLACEMENT,
-                                   agent.name)
+        transition = REPLACEMENT_TRANSITIONS.get(state)
+        if transition is None:
+            raise ProtocolViolationError(state, ProtocolEvent.REPLACEMENT,
+                                         agent.name)
+        _next, action = transition
         self._trace(agent.name, line_address, "Replacement", state,
                     HammerState.I, now)
         if action is Action.WRITEBACK_DATA and victim.dirty:
@@ -594,7 +636,7 @@ class HammerSystem:
     def _writeback(self, src_name: str, line_address: int,
                    victim: CacheLine, now: int) -> None:
         """Dirty eviction: PUTX with data to the memory controller."""
-        self._writebacks.increment()
+        self._writebacks.value += 1
         arrival = self._send(src_name, MEMCTRL, MessageClass.WRITEBACK,
                              line_address, now)
         self.dram.post_write(line_address, arrival)
@@ -605,8 +647,7 @@ class HammerSystem:
                     line_address: int, now: int) -> int:
         """Send to the ordering point; include controller occupancy."""
         arrival = self._send(src, MEMCTRL, msg_class, line_address, now)
-        return arrival + self.mem_clock.cycles_to_ticks(
-            self.memctrl_latency_cycles)
+        return arrival + self._memctrl_ticks
 
     def _trace(self, agent: str, line_address: int, event: str,
                old_state, new_state, tick: int) -> None:
@@ -630,10 +671,7 @@ class HammerSystem:
 
     def _send(self, src: str, dst: str, msg_class: MessageClass,
               line_address: int, now: int) -> int:
-        return self.network.send(
-            NetworkMessage(src, dst, msg_class, line_address,
-                           created_tick=now),
-            now)
+        return self.network.send_raw(src, dst, msg_class, line_address, now)
 
     def _read_word(self, line: CacheLine, address: int) -> Optional[int]:
         if self.image is None or line.data is None:

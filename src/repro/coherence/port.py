@@ -38,6 +38,8 @@ class CoherentPort:
         self.engine = engine
         self.queue = queue
         self.mshrs = MSHRFile(f"{name}.mshr", num_mshrs)
+        # bound method of the MSHR dict: one in-flight check per request
+        self._mshr_get = self.mshrs._entries.get
         self._line_size = engine.line_size
         self._line_mask = ~(engine.line_size - 1)
         # event labels, precomputed off the per-request path
@@ -74,7 +76,7 @@ class CoherentPort:
         line_address = self._line(address)
         now = self.queue.current_tick
 
-        if self.mshrs.lookup(line_address) is not None:
+        if self._mshr_get(line_address) is not None:
             # merge: replay the whole request once the line settles —
             # by then it is (usually) resident and completes locally.
             self._accept(on_accept)
@@ -102,9 +104,7 @@ class CoherentPort:
 
         if result.hit:
             # no fill in flight; deliver at the access's ready tick
-            self.queue.schedule_at(
-                result.ready_tick, lambda: callback(result),
-                name=self._name_hit)
+            self.queue.post_at(result.ready_tick, lambda: callback(result))
             return
 
         entry = self.mshrs.allocate(line_address, now, is_write=is_store)
@@ -117,8 +117,7 @@ class CoherentPort:
                 waiter()
             self._drain_waiting()
 
-        self.queue.schedule_at(result.ready_tick, _complete,
-                               name=self._name_fill)
+        self.queue.post_at(result.ready_tick, _complete)
 
     def _accept(self, on_accept: Optional[Callable[[], None]]) -> None:
         """Fire an acceptance callback on a fresh event.
@@ -128,8 +127,7 @@ class CoherentPort:
         request into this same port.
         """
         if on_accept is not None:
-            self.queue.schedule_after(0, on_accept,
-                                      name=self._name_accept)
+            self.queue.post_after(0, on_accept)
 
     def _drain_waiting(self) -> None:
         """Re-issue parked requests now that MSHR space freed up."""

@@ -167,3 +167,54 @@ def next_state(state: HammerState, event: ProtocolEvent,
         return PROTOCOL_TABLE[(state, event)]
     except KeyError:
         raise ProtocolViolationError(state, event, context) from None
+
+
+# ----------------------------------------------------------------------
+# dense derived tables (the transition fast path)
+# ----------------------------------------------------------------------
+#
+# ``PROTOCOL_TABLE`` stays the single source of truth — everything below
+# is derived from it at import time, so the safety tests that check the
+# declarative table transitively cover the fast paths too.
+
+#: stable integer indices for states/events/actions (definition order)
+STATE_INDEX: Dict[HammerState, int] = {
+    state: i for i, state in enumerate(HammerState)}
+EVENT_INDEX: Dict[ProtocolEvent, int] = {
+    event: i for i, event in enumerate(ProtocolEvent)}
+ACTION_INDEX: Dict[Action, int] = {
+    action: i for i, action in enumerate(Action)}
+STATE_BY_INDEX: Tuple[HammerState, ...] = tuple(HammerState)
+ACTION_BY_INDEX: Tuple[Action, ...] = tuple(Action)
+N_STATES = len(STATE_BY_INDEX)
+N_EVENTS = len(EVENT_INDEX)
+
+#: row-major ``state × event`` integer tables; ``-1`` marks an illegal
+#: transition.  This is the form a compiled (numba) transition kernel
+#: consumes — plain int64-indexable flat arrays with no objects.
+NEXT_STATE_TABLE: List[int] = [-1] * (N_STATES * N_EVENTS)
+ACTION_TABLE: List[int] = [-1] * (N_STATES * N_EVENTS)
+for (_state, _event), (_next, _action) in PROTOCOL_TABLE.items():
+    _flat = STATE_INDEX[_state] * N_EVENTS + EVENT_INDEX[_event]
+    NEXT_STATE_TABLE[_flat] = STATE_INDEX[_next]
+    ACTION_TABLE[_flat] = ACTION_INDEX[_action]
+
+#: per-event transition rows for the interpreted hot path: one dict
+#: lookup on the state object replaces tuple construction + hashing of
+#: a two-enum key.  ``row.get(state)`` returning ``None`` means illegal.
+_BY_EVENT: Dict[ProtocolEvent,
+                Dict[HammerState, Tuple[HammerState, Action]]] = {
+    event: {state: PROTOCOL_TABLE[(state, event)]
+            for state in HammerState
+            if (state, event) in PROTOCOL_TABLE}
+    for event in ProtocolEvent}
+
+LOAD_TRANSITIONS = _BY_EVENT[ProtocolEvent.LOAD]
+STORE_TRANSITIONS = _BY_EVENT[ProtocolEvent.STORE]
+REPLACEMENT_TRANSITIONS = _BY_EVENT[ProtocolEvent.REPLACEMENT]
+PROBE_GETS_TRANSITIONS = _BY_EVENT[ProtocolEvent.PROBE_GETS]
+PROBE_GETX_TRANSITIONS = _BY_EVENT[ProtocolEvent.PROBE_GETX]
+REMOTE_STORE_LOCAL_TRANSITIONS = _BY_EVENT[
+    ProtocolEvent.REMOTE_STORE_LOCAL]
+REMOTE_STORE_ARRIVE_TRANSITIONS = _BY_EVENT[
+    ProtocolEvent.REMOTE_STORE_ARRIVE]

@@ -44,12 +44,8 @@ class CpuCore:
         self.store_buffer = WriteBuffer(f"{name}.sb", store_buffer_entries)
         self.max_outstanding_drains = max_outstanding_drains
         self.stats = StatsRegistry(name)
-        # event labels, precomputed off the issue path
-        self._name_start = f"{name}.start"
-        self._name_compute = f"{name}.compute"
-        self._name_stlf = f"{name}.stlf"
-        self._name_retire = f"{name}.retire"
-        self._name_unstall = f"{name}.unstall"
+        self._cycle_ticks = clock.cycles_to_ticks(1)
+        self._period_ticks = clock.period_ticks
         self._ops_executed = self.stats.counter("ops_executed")
         self._load_latency = self.stats.histogram(
             "load_latency_ticks", [1000, 5000, 20000, 100000, 500000])
@@ -75,8 +71,7 @@ class CpuCore:
         self._next_op = 0
         self._on_done = on_done
         self._running = True
-        self.queue.schedule_after(0, self._issue_next,
-                                  name=self._name_start)
+        self.queue.post_after(0, self._issue_next)
 
     # ------------------------------------------------------------------
 
@@ -89,9 +84,8 @@ class CpuCore:
 
         if op.kind is OpKind.COMPUTE:
             self._ops_executed.increment()
-            self.queue.schedule_after(
-                self.clock.cycles_to_ticks(max(1, op.cycles)),
-                self._issue_next, name=self._name_compute)
+            self.queue.post_after(max(1, op.cycles) * self._period_ticks,
+                              self._issue_next)
             return
         if op.kind is OpKind.LOAD:
             self._ops_executed.increment()
@@ -106,9 +100,7 @@ class CpuCore:
         forwarded = self.store_buffer.forwards(op.address)
         if forwarded is not None:
             # store-to-load forwarding: one-cycle bypass
-            self.queue.schedule_after(self.clock.cycles_to_ticks(1),
-                                      self._issue_next,
-                                      name=self._name_stlf)
+            self.queue.post_after(self._cycle_ticks, self._issue_next)
             return
         issue_tick = self.queue.current_tick
         translation = self.mmu.translate(op.address, is_store=False)
@@ -130,9 +122,9 @@ class CpuCore:
         self._kick_drain()
         # a store retires in one cycle plus any per-element generation
         # cost the trace attached to it (op.cycles)
-        self.queue.schedule_after(
-            self.clock.cycles_to_ticks(1 + max(0, op.cycles)),
-            self._issue_next, name=self._name_retire)
+        self.queue.post_after(
+            (1 + max(0, op.cycles)) * self._period_ticks,
+            self._issue_next)
 
     # ------------------------------------------------------------------
     # drain engine
@@ -168,8 +160,7 @@ class CpuCore:
         self._kick_drain()
         if self._stalled_on_store is not None:
             self._stalled_on_store = None
-            self.queue.schedule_after(0, self._issue_next,
-                                      name=self._name_unstall)
+            self.queue.post_after(0, self._issue_next)
 
     def _store_complete(self, _result) -> None:
         """The store is globally performed (fill/forward finished)."""

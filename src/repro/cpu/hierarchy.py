@@ -53,13 +53,6 @@ class CpuMemorySubsystem:
         #: hybrid); with it off the TLB signal is ignored (pure CCSM).
         self.forward_enabled = forward_enabled
         self.stats = StatsRegistry(name)
-        # event labels, precomputed off the access path
-        self._name_uncached = f"{name}.uncached"
-        self._name_l1hit = f"{name}.l1hit"
-        self._name_fwd_accept = f"{name}.fwd_accept"
-        self._name_forward = f"{name}.forward"
-        self._name_st_accept = f"{name}.st_accept"
-        self._name_st_l1hit = f"{name}.st_l1hit"
         self._loads = self.stats.counter("loads")
         self._stores = self.stats.counter("stores")
         self._forwarded = self.stats.counter(
@@ -94,8 +87,8 @@ class CpuMemorySubsystem:
         l1_line.dirty = False
 
     def _l1_ticks(self, extra_cycles: int = 0) -> int:
-        return self.clock.cycles_to_ticks(self.l1_latency_cycles
-                                          + extra_cycles)
+        return (self.l1_latency_cycles + extra_cycles) \
+            * self.clock.period_ticks
 
     # ------------------------------------------------------------------
     # loads
@@ -111,9 +104,8 @@ class CpuMemorySubsystem:
             result = self.engine.uncached_load(
                 self.port.agent_name, translation.physical_address,
                 now + self._l1_ticks(translation.walk_cycles))
-            self.queue.schedule_at(result.ready_tick,
-                                   lambda: callback(result),
-                                   name=self._name_uncached)
+            self.queue.post_at(result.ready_tick,
+                               lambda: callback(result))
             return
         t_l1 = now + self._l1_ticks(translation.walk_cycles)
         line = self.l1d.lookup(translation.physical_address)
@@ -124,8 +116,7 @@ class CpuMemorySubsystem:
                     translation.physical_address)
                 word = line.data.get(offset, 0)
             result = AccessResult(t_l1, word, True, "local")
-            self.queue.schedule_at(t_l1, lambda: callback(result),
-                                   name=self._name_l1hit)
+            self.queue.post_at(t_l1, lambda: callback(result))
             return
 
         def _on_fill(result: AccessResult) -> None:
@@ -186,11 +177,9 @@ class CpuMemorySubsystem:
                 accept_tick = max(now, result.ready_tick
                                   - dst_agent.tag_ticks
                                   - self._ds_latency_ticks())
-                self.queue.schedule_at(accept_tick, on_accept,
-                                       name=self._name_fwd_accept)
-            self.queue.schedule_at(result.ready_tick,
-                                   lambda: callback(result),
-                                   name=self._name_forward)
+                self.queue.post_at(accept_tick, on_accept)
+            self.queue.post_at(result.ready_tick,
+                               lambda: callback(result))
             return
         # write-back, write-allocate: a hit retires in the L1
         t_l1 = now + self._l1_ticks(translation.walk_cycles)
@@ -205,10 +194,8 @@ class CpuMemorySubsystem:
                 self._write_l1_word(line, word_pa, word_value)
             result = AccessResult(t_l1, value, True, "local")
             if on_accept is not None:
-                self.queue.schedule_at(t_l1, on_accept,
-                                       name=self._name_st_accept)
-            self.queue.schedule_at(t_l1, lambda: callback(result),
-                                   name=self._name_st_l1hit)
+                self.queue.post_at(t_l1, on_accept)
+            self.queue.post_at(t_l1, lambda: callback(result))
             return
 
         def _on_filled(result: AccessResult) -> None:

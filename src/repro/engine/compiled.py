@@ -1,0 +1,312 @@
+"""Compiled event-queue core: an int64 key heap behind the queue API.
+
+The opt-in ``REPRO_COMPILED_ENGINE=1`` mode replaces the tuple heap of
+:class:`~repro.engine.event.EventQueue` with three parallel ``int64``
+arrays — ``ticks``, ``seqs`` and ``slots`` — ordered lexicographically
+by ``(tick, seq)``.  The heap inner loops (:func:`_kheap_push`,
+:func:`_kheap_pop`, :func:`_kheap_pop_run`) touch only those arrays, so
+they sit in the numba ``nopython`` subset and are jitted when numba is
+importable (:func:`~repro.engine.modes.maybe_njit`).  Without numba the
+very same statements run interpreted — slower, but bit-identical, so CI
+can exercise the code path on containers that lack numba.
+
+Callbacks and :class:`~repro.engine.event.Event` handles cannot cross
+into nopython code; they live in a Python-side ``slots → entry`` table.
+Each heap entry's ``slot`` indexes that table, and slots are recycled
+through a free list, so steady-state operation allocates nothing but
+the entry tuples themselves.
+
+Ordering is identical to the tuple heap by construction: both draw
+sequence numbers from the same counter and both order strictly by
+``(tick, seq)``, which is a total order (sequence numbers are unique).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional
+
+from repro.engine.event import Event, EventQueue, QueueEntry
+from repro.engine.modes import maybe_njit
+
+try:  # pragma: no cover - numpy is a baked-in dependency everywhere we run
+    import numpy as np
+    HAVE_NUMPY = True
+except ImportError:  # pragma: no cover
+    np = None
+    HAVE_NUMPY = False
+
+_INITIAL_CAPACITY = 1024
+
+
+@maybe_njit
+def _kheap_push(ticks, seqs, slots, size, tick, seq, slot):
+    """Insert ``(tick, seq) -> slot`` and sift up; return the new size."""
+    i = size
+    ticks[i] = tick
+    seqs[i] = seq
+    slots[i] = slot
+    while i > 0:
+        parent = (i - 1) >> 1
+        if ticks[i] < ticks[parent] or (
+                ticks[i] == ticks[parent] and seqs[i] < seqs[parent]):
+            ticks[i], ticks[parent] = ticks[parent], ticks[i]
+            seqs[i], seqs[parent] = seqs[parent], seqs[i]
+            slots[i], slots[parent] = slots[parent], slots[i]
+            i = parent
+        else:
+            break
+    return size + 1
+
+
+@maybe_njit
+def _kheap_sift_down(ticks, seqs, slots, size):
+    """Restore the heap property after the root was replaced."""
+    i = 0
+    while True:
+        left = 2 * i + 1
+        if left >= size:
+            break
+        smallest = left
+        right = left + 1
+        if right < size and (ticks[right] < ticks[left] or (
+                ticks[right] == ticks[left] and seqs[right] < seqs[left])):
+            smallest = right
+        if ticks[smallest] < ticks[i] or (
+                ticks[smallest] == ticks[i] and seqs[smallest] < seqs[i]):
+            ticks[i], ticks[smallest] = ticks[smallest], ticks[i]
+            seqs[i], seqs[smallest] = seqs[smallest], seqs[i]
+            slots[i], slots[smallest] = slots[smallest], slots[i]
+            i = smallest
+        else:
+            break
+
+
+@maybe_njit
+def _kheap_pop(ticks, seqs, slots, size):
+    """Pop the minimum entry; return ``(slot, tick, new_size)``."""
+    slot = slots[0]
+    tick = ticks[0]
+    size -= 1
+    if size > 0:
+        ticks[0] = ticks[size]
+        seqs[0] = seqs[size]
+        slots[0] = slots[size]
+        _kheap_sift_down(ticks, seqs, slots, size)
+    return slot, tick, size
+
+
+@maybe_njit
+def _kheap_pop_run(ticks, seqs, slots, size, out):
+    """Pop the minimum entry and every entry sharing its tick.
+
+    Slot ids land in *out* (which the caller sizes to at least *size*,
+    so the run always fits); returns ``(count, epoch_tick, new_size)``.
+    """
+    epoch = ticks[0]
+    n = 0
+    while size > 0 and ticks[0] == epoch:
+        out[n] = slots[0]
+        n += 1
+        size -= 1
+        if size > 0:
+            ticks[0] = ticks[size]
+            seqs[0] = seqs[size]
+            slots[0] = slots[size]
+            _kheap_sift_down(ticks, seqs, slots, size)
+    return n, epoch, size
+
+
+class CompiledEventQueue(EventQueue):
+    """Queue API over the key heap; drop-in for :class:`EventQueue`.
+
+    Scheduling performs the same lifecycle/past-tick checks as the base
+    class, then pushes keys into the arrays instead of tuples into a
+    Python heap.  Cancellation stays lazy: dead entries are discarded
+    when they surface, and :meth:`_compact` rebuilds the arrays when the
+    dead dominate.
+    """
+
+    def __init__(self) -> None:
+        if not HAVE_NUMPY:  # pragma: no cover - numpy is baked in
+            raise ImportError(
+                "REPRO_COMPILED_ENGINE=1 needs numpy for the key heap; "
+                "unset the flag to use the default epoch engine")
+        super().__init__()
+        cap = _INITIAL_CAPACITY
+        self._ticks = np.empty(cap, dtype=np.int64)
+        self._seqs = np.empty(cap, dtype=np.int64)
+        self._slots = np.empty(cap, dtype=np.int64)
+        self._run_out = np.empty(cap, dtype=np.int64)
+        self._entries: List[Optional[QueueEntry]] = []
+        self._free: List[int] = []
+        self._size = 0
+
+    # ------------------------------------------------------------------
+    # scheduling
+    # ------------------------------------------------------------------
+
+    def _push(self, tick: int, seq: int, event: Optional[Event],
+              callback: Callable[[], None]) -> None:
+        free = self._free
+        if free:
+            slot = free.pop()
+            self._entries[slot] = (tick, seq, event, callback)
+        else:
+            slot = len(self._entries)
+            self._entries.append((tick, seq, event, callback))
+        if self._size == len(self._ticks):
+            self._grow()
+        self._live += 1
+        self._size = _kheap_push(self._ticks, self._seqs, self._slots,
+                                 self._size, tick, seq, slot)
+
+    def _grow(self) -> None:
+        cap = len(self._ticks) * 2
+        for name in ("_ticks", "_seqs", "_slots", "_run_out"):
+            fresh = np.empty(cap, dtype=np.int64)
+            old = getattr(self, name)
+            fresh[:len(old)] = old
+            setattr(self, name, fresh)
+
+    def schedule(self, event: Event) -> Event:
+        if event._queue is not None:
+            raise ValueError(f"{event!r} is already scheduled")
+        if event.fired:
+            raise ValueError(f"{event!r} already fired; events are "
+                             "single-use")
+        if event.cancelled:
+            raise ValueError(f"{event!r} is cancelled and cannot be "
+                             "scheduled")
+        if event.tick < self.current_tick:
+            raise ValueError(
+                f"cannot schedule {event!r} in the past "
+                f"(now={self.current_tick})")
+        event._seq = next(self._sequence)
+        event._queue = self
+        self._push(event.tick, event._seq, event, event.callback)
+        return event
+
+    def schedule_at(self, tick: int, callback: Callable[[], None],
+                    name: str = "") -> Event:
+        if tick < self.current_tick:
+            raise ValueError(
+                f"cannot schedule tick {tick} in the past "
+                f"(now={self.current_tick})")
+        event = Event(tick, callback, name)
+        event._seq = next(self._sequence)
+        event._queue = self
+        self._push(tick, event._seq, event, callback)
+        return event
+
+    def schedule_after(self, delay: int, callback: Callable[[], None],
+                       name: str = "") -> Event:
+        if delay < 0:
+            raise ValueError(f"negative delay {delay}")
+        return self.schedule_at(self.current_tick + delay, callback, name)
+
+    def post_at(self, tick: int, callback: Callable[[], None]) -> None:
+        if tick < self.current_tick:
+            raise ValueError(
+                f"cannot schedule tick {tick} in the past "
+                f"(now={self.current_tick})")
+        self._push(tick, next(self._sequence), None, callback)
+
+    def post_after(self, delay: int, callback: Callable[[], None]) -> None:
+        if delay < 0:
+            raise ValueError(f"negative delay {delay}")
+        self._push(self.current_tick + delay, next(self._sequence), None,
+                   callback)
+
+    # ------------------------------------------------------------------
+    # draining
+    # ------------------------------------------------------------------
+
+    def pop_entry(self) -> Optional[QueueEntry]:
+        entries = self._entries
+        free = self._free
+        while self._size:
+            slot, tick, self._size = _kheap_pop(
+                self._ticks, self._seqs, self._slots, self._size)
+            entry = entries[slot]
+            entries[slot] = None
+            free.append(slot)
+            event = entry[2]
+            if event is not None:
+                if event.cancelled:
+                    self._dead -= 1
+                    continue
+                event._queue = None
+                event.fired = True
+            self._live -= 1
+            self.current_tick = tick
+            return entry
+        return None
+
+    def pop_epoch(self, batch: List[QueueEntry]) -> int:
+        del batch[:]
+        entries = self._entries
+        free = self._free
+        out = self._run_out
+        append = batch.append
+        while self._size:
+            count, epoch, self._size = _kheap_pop_run(
+                self._ticks, self._seqs, self._slots, self._size, out)
+            extracted = 0
+            for i in range(count):
+                slot = out[i]
+                entry = entries[slot]
+                entries[slot] = None
+                free.append(slot)
+                event = entry[2]
+                if event is not None:
+                    if event.cancelled:
+                        self._dead -= 1
+                        continue
+                    event._queue = None
+                    event.fired = True
+                self._live -= 1
+                append(entry)
+                extracted += 1
+            if extracted:
+                self.current_tick = epoch
+                return extracted
+            # the whole run was cancelled; fall through to the next tick
+        return 0
+
+    def peek_tick(self) -> Optional[int]:
+        entries = self._entries
+        free = self._free
+        while self._size:
+            slot = self._slots[0]
+            event = entries[slot][2]
+            if event is not None and event.cancelled:
+                _, _, self._size = _kheap_pop(
+                    self._ticks, self._seqs, self._slots, self._size)
+                entries[slot] = None
+                free.append(slot)
+                self._dead -= 1
+                continue
+            return int(self._ticks[0])
+        return None
+
+    # ------------------------------------------------------------------
+    # cancellation bookkeeping
+    # ------------------------------------------------------------------
+
+    def _compact(self) -> None:
+        """Rebuild the arrays from the live entries only."""
+        entries = self._entries
+        live = [entries[self._slots[i]] for i in range(self._size)]
+        live = [entry for entry in live
+                if entry[2] is None or not entry[2].cancelled]
+        self._entries = []
+        self._free = []
+        self._size = 0
+        if len(self._ticks) < max(len(live), 1):
+            self._grow()
+        for tick, seq, event, callback in live:
+            slot = len(self._entries)
+            self._entries.append((tick, seq, event, callback))
+            self._size = _kheap_push(self._ticks, self._seqs, self._slots,
+                                     self._size, tick, seq, slot)
+        self._dead = 0

@@ -1,0 +1,77 @@
+"""Engine-mode feature gates.
+
+The simulator run loop has three implementations that must be
+bit-identical in every observable output (final tick, events fired,
+statistics, and — when tracing is on — the tick-keyed event stream):
+
+``epoch``
+    The default: :meth:`~repro.engine.simulator.Simulator.run` drains
+    the event queue one *tick epoch* at a time — every live event of the
+    current tick is extracted in one pass and dispatched from a flat
+    batch, so the interpreter pays the loop overhead per epoch instead
+    of per event.
+``scalar``
+    The original one-``heappop``-per-event loop, kept verbatim as the
+    escape hatch CI uses to prove equivalence.  Forced with
+    ``REPRO_SCALAR_ENGINE=1`` (mirroring ``REPRO_SCALAR_PIPELINE``).
+``compiled``
+    Opt-in via ``REPRO_COMPILED_ENGINE=1``: the epoch-extraction inner
+    loop runs over a parallel int64 key heap compiled with numba
+    ``@njit`` when numba is importable.  Without numba the same
+    key-heap code runs interpreted, so the flag is always safe to set
+    and CI can exercise the code path on containers without numba.
+
+The mode is read when :meth:`Simulator.run` starts (systems are
+single-use, so this is equivalent to construction time for a run).
+"""
+
+from __future__ import annotations
+
+import os
+
+#: environment variable forcing the original per-event scalar loop
+SCALAR_ENGINE_ENV = "REPRO_SCALAR_ENGINE"
+#: environment variable opting in to the compiled epoch inner loop
+COMPILED_ENGINE_ENV = "REPRO_COMPILED_ENGINE"
+
+try:  # pragma: no cover - exercised only where numba is installed
+    from numba import njit as _njit
+    HAVE_NUMBA = True
+except ImportError:  # pragma: no cover - the common container case
+    _njit = None
+    HAVE_NUMBA = False
+
+
+def _flag(name: str) -> bool:
+    return os.environ.get(name, "") not in ("", "0")
+
+
+def scalar_engine_enabled() -> bool:
+    """True when the per-event escape-hatch loop is forced."""
+    return _flag(SCALAR_ENGINE_ENV)
+
+
+def compiled_engine_requested() -> bool:
+    """True when the key-heap (numba-compilable) inner loop is requested."""
+    return _flag(COMPILED_ENGINE_ENV)
+
+
+def engine_mode() -> str:
+    """Resolve the active engine mode: ``scalar`` beats ``compiled``."""
+    if scalar_engine_enabled():
+        return "scalar"
+    if compiled_engine_requested():
+        return "compiled"
+    return "epoch"
+
+
+def maybe_njit(function):
+    """Apply ``numba.njit(cache=True)`` when available, else no-op.
+
+    The decorated functions are written in the numba nopython subset
+    (int64 array heaps, no Python objects), so the interpreted fallback
+    executes the very same statements — bit-identical by construction.
+    """
+    if HAVE_NUMBA:  # pragma: no cover - needs numba in the container
+        return _njit(cache=True)(function)
+    return function

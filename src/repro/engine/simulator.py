@@ -1,10 +1,35 @@
-"""The simulation run loop."""
+"""The simulation run loop.
+
+Three interchangeable, bit-identical drain strategies (see
+:mod:`repro.engine.modes`):
+
+* ``epoch`` (default) — :meth:`Simulator._run_epoch` extracts every
+  live event of the current tick in one :meth:`EventQueue.pop_epoch`
+  pass and dispatches from a flat batch, paying loop overhead per epoch
+  instead of per event.
+* ``scalar`` (``REPRO_SCALAR_ENGINE=1``) — :meth:`Simulator._run`, the
+  original one-pop-per-event loop, kept as the escape hatch CI uses to
+  prove equivalence.
+* ``compiled`` (``REPRO_COMPILED_ENGINE=1``) — the same epoch dispatch
+  loop, but over a :class:`~repro.engine.compiled.CompiledEventQueue`
+  whose heap inner loops are numba-compilable int64 array code.
+
+Equivalence argument for epoch draining: a callback can only schedule
+at the current tick or later, and anything it adds at the current tick
+draws a higher sequence number than every entry already extracted, so
+it lands in the *next* epoch of the same tick — exactly where the
+per-event loop would fire it.  Cancels issued inside a batch are
+honoured at dispatch (the loop re-checks ``cancelled`` and skips
+without counting), matching the scalar loop's lazy discard.
+"""
 
 from __future__ import annotations
 
+import gc
 from typing import Optional
 
 from repro.engine.event import EventQueue
+from repro.engine.modes import engine_mode
 from repro.utils.profiler import PROFILER
 
 
@@ -21,12 +46,18 @@ class Simulator:
 
     The simulator is intentionally minimal: components schedule events
     against :attr:`queue`; :meth:`run` fires them in order until the queue
-    drains or a budget trips.
+    drains or a budget trips.  The engine mode is resolved once, at
+    construction (systems are single-use, so this is the run's mode).
     """
 
     def __init__(self, max_events: int = 200_000_000,
                  max_ticks: Optional[int] = None) -> None:
-        self.queue = EventQueue()
+        self.engine_mode = engine_mode()
+        if self.engine_mode == "compiled":
+            from repro.engine.compiled import CompiledEventQueue
+            self.queue: EventQueue = CompiledEventQueue()
+        else:
+            self.queue = EventQueue()
         self.max_events = max_events
         self.max_ticks = max_ticks
         self.events_fired = 0
@@ -45,20 +76,42 @@ class Simulator:
         When profiling is enabled, the whole event loop is attributed to
         the ``engine`` section; sections opened by event callbacks
         (coalescer, TLB, cache, protocol) subtract themselves from the
-        engine's self time.
+        engine's self time, and epoch extraction is broken out into
+        ``engine_batch``.
         """
-        loop = self._run if self.sampler is None else self._run_sampled
-        prof = PROFILER
-        if not prof.enabled:
-            return loop()
-        prof.start("engine")
+        if self.sampler is not None:
+            # sampling interleaves with the queue between events; the
+            # per-event loop is the natural (and already cheap) shape
+            loop = self._run_sampled
+        elif self.engine_mode == "scalar":
+            loop = self._run
+        else:
+            # "epoch" and "compiled" share the dispatch loop; compiled
+            # mode differs only inside the queue's heap operations
+            loop = self._run_epoch
+        # The loop allocates heavily (heap entries, closures, results)
+        # but the cyclic collector never finds anything load-bearing to
+        # free mid-run — its periodic scans are pure pause time, ~15% of
+        # the loop on event-heavy benchmarks.  Suspend it for the run;
+        # refcounting still reclaims the bulk of the garbage immediately.
+        gc_was_enabled = gc.isenabled()
+        if gc_was_enabled:
+            gc.disable()
         try:
-            return loop()
+            prof = PROFILER
+            if not prof.enabled:
+                return loop()
+            prof.start("engine")
+            try:
+                return loop()
+            finally:
+                prof.stop()
         finally:
-            prof.stop()
+            if gc_was_enabled:
+                gc.enable()
 
     def _run(self) -> int:
-        """The bare event loop.
+        """The scalar escape hatch: one heap pop per event.
 
         The loop binds everything it touches to locals — each iteration
         is a handful of bytecodes around the callback, which matters when
@@ -66,35 +119,91 @@ class Simulator:
         is synchronised back on every exit path.
         """
         queue = self.queue
-        pop = queue.pop
+        pop_entry = queue.pop_entry
         max_events = self.max_events
         max_ticks = self.max_ticks
         fired = self.events_fired
         try:
             if max_ticks is None:
                 while True:
-                    event = pop()
-                    if event is None:
+                    entry = pop_entry()
+                    if entry is None:
                         return queue.current_tick
                     fired += 1
                     if fired > max_events:
                         raise SimulationLimitError(
                             f"event budget exceeded ({max_events}); "
                             "likely a scheduling livelock")
-                    event.callback()
+                    entry[3]()
             while True:
-                event = pop()
-                if event is None:
+                entry = pop_entry()
+                if entry is None:
                     return queue.current_tick
-                if event.tick > max_ticks:
+                if entry[0] > max_ticks:
                     raise SimulationLimitError(
-                        f"tick budget exceeded: {event.tick} > {max_ticks}")
+                        f"tick budget exceeded: {entry[0]} > {max_ticks}")
                 fired += 1
                 if fired > max_events:
                     raise SimulationLimitError(
                         f"event budget exceeded ({max_events}); "
                         "likely a scheduling livelock")
-                event.callback()
+                entry[3]()
+        finally:
+            self.events_fired = fired
+
+    def _run_epoch(self) -> int:
+        """The epoch loop: drain whole tick batches at a time.
+
+        Per epoch: one ``pop_epoch`` (a run of C-level ``heappop`` calls
+        into a reused list), one budget comparison, then a tight
+        dispatch loop of ``entry[3]()`` calls.  Near the event budget
+        the loop falls back to per-event accounting so the limit trips
+        after exactly the same event as the scalar loop.  Entries whose
+        event was cancelled by an earlier callback in the same batch are
+        skipped without counting, matching scalar lazy discard.
+        """
+        queue = self.queue
+        pop_epoch = queue.pop_epoch
+        max_events = self.max_events
+        max_ticks = self.max_ticks
+        fired = self.events_fired
+        batch: list = []
+        prof = PROFILER
+        profiling = prof.enabled
+        try:
+            while True:
+                if profiling:
+                    prof.start("engine_batch")
+                    extracted = pop_epoch(batch)
+                    prof.stop()
+                else:
+                    extracted = pop_epoch(batch)
+                if not extracted:
+                    return queue.current_tick
+                if max_ticks is not None and queue.current_tick > max_ticks:
+                    raise SimulationLimitError(
+                        f"tick budget exceeded: {queue.current_tick} > "
+                        f"{max_ticks}")
+                if fired + extracted > max_events:
+                    # careful tail: count per event so the budget trips
+                    # at exactly the same event as the scalar loop
+                    for entry in batch:
+                        event = entry[2]
+                        if event is not None and event.cancelled:
+                            continue
+                        fired += 1
+                        if fired > max_events:
+                            raise SimulationLimitError(
+                                f"event budget exceeded ({max_events}); "
+                                "likely a scheduling livelock")
+                        entry[3]()
+                    continue
+                for entry in batch:
+                    event = entry[2]
+                    if event is not None and event.cancelled:
+                        continue
+                    fired += 1
+                    entry[3]()
         finally:
             self.events_fired = fired
 
@@ -110,7 +219,7 @@ class Simulator:
         """
         queue = self.queue
         peek = queue.peek_tick
-        pop = queue.pop
+        pop_entry = queue.pop_entry
         sampler = self.sampler
         max_events = self.max_events
         max_ticks = self.max_ticks
@@ -125,14 +234,14 @@ class Simulator:
                 if max_ticks is not None and next_tick > max_ticks:
                     raise SimulationLimitError(
                         f"tick budget exceeded: {next_tick} > {max_ticks}")
-                event = pop()
-                assert event is not None
+                entry = pop_entry()
+                assert entry is not None
                 fired += 1
                 if fired > max_events:
                     raise SimulationLimitError(
                         f"event budget exceeded ({max_events}); "
                         "likely a scheduling livelock")
-                event.callback()
+                entry[3]()
         finally:
             self.events_fired = fired
 
@@ -140,7 +249,7 @@ class Simulator:
         """Fire events up to and including *tick*; return the current tick."""
         queue = self.queue
         peek = queue.peek_tick
-        pop = queue.pop
+        pop_entry = queue.pop_entry
         max_events = self.max_events
         fired = self.events_fired
         try:
@@ -148,12 +257,12 @@ class Simulator:
                 next_tick = peek()
                 if next_tick is None or next_tick > tick:
                     return queue.current_tick
-                event = pop()
-                assert event is not None
+                entry = pop_entry()
+                assert entry is not None
                 fired += 1
                 if fired > max_events:
                     raise SimulationLimitError(
                         f"event budget exceeded ({max_events})")
-                event.callback()
+                entry[3]()
         finally:
             self.events_fired = fired

@@ -73,6 +73,7 @@ class StreamingMultiprocessor:
         # per-access latencies are fixed; convert to ticks once
         self._l1_ticks = clock.cycles_to_ticks(l1_latency_cycles)
         self._cycle_ticks = clock.cycles_to_ticks(1)
+        self._period_ticks = clock.period_ticks
         # cached full-line store image, rebuilt when the value changes
         self._store_fill: Optional[Dict[int, int]] = None
         self._store_fill_value: Optional[int] = None
@@ -82,9 +83,6 @@ class StreamingMultiprocessor:
         #: (virtual_address, value) pairs observed by loads, for oracles
         self.loaded_values: List[Tuple[int, Optional[int]]] = []
         self.stats = StatsRegistry(name)
-        # event labels, precomputed off the issue path
-        self._name_empty = f"{name}.empty"
-        self._name_issue = f"{name}.issue"
         self._issued = self.stats.counter("warp_ops_issued")
         self._load_latency = self.stats.histogram(
             "load_latency_ticks", [1000, 5000, 20000, 100000, 500000])
@@ -110,8 +108,7 @@ class StreamingMultiprocessor:
         self._on_done = on_done
         self._active = True
         if all(warp.done for warp in self._warps):
-            self.queue.schedule_after(0, self._maybe_finish,
-                                      name=self._name_empty)
+            self.queue.post_after(0, self._maybe_finish)
             return
         self._schedule_issue()
 
@@ -130,15 +127,18 @@ class StreamingMultiprocessor:
     def _schedule_issue(self) -> None:
         if self._issue_scheduled or not self._active:
             return
-        candidates = [warp.ready_tick for warp in self._warps
-                      if not warp.done and warp.pending_loads == 0]
-        if not candidates:
+        earliest = None
+        for warp in self._warps:
+            if not warp.done and warp.pending_loads == 0:
+                tick = warp.ready_tick
+                if earliest is None or tick < earliest:
+                    earliest = tick
+        if earliest is None:
             return  # everyone blocked on memory; returns will re-schedule
-        target = max(self._next_issue_tick, min(candidates),
+        target = max(self._next_issue_tick, earliest,
                      self.queue.current_tick)
         self._issue_scheduled = True
-        self.queue.schedule_at(target, self._issue,
-                               name=self._name_issue)
+        self.queue.post_at(target, self._issue)
 
     def _issue(self) -> None:
         self._issue_scheduled = False
@@ -153,8 +153,8 @@ class StreamingMultiprocessor:
         warp.pc += 1
         if warp.pc >= len(warp.ops):
             warp.done = True
-        self._issued.increment()
-        self._next_issue_tick = now + self.clock.cycles_to_ticks(1)
+        self._issued.value += 1
+        self._next_issue_tick = now + self._cycle_ticks
         self._execute(warp, op, now)
         if warp.done and warp.pending_loads == 0:
             self._maybe_finish()
@@ -162,12 +162,17 @@ class StreamingMultiprocessor:
 
     def _pick_warp(self, now: int) -> Optional[_Warp]:
         """Loose round-robin over warps ready to issue right now."""
-        count = len(self._warps)
-        for step in range(count):
-            warp = self._warps[(self._rr_index + step) % count]
+        warps = self._warps
+        count = len(warps)
+        index = self._rr_index
+        for _ in range(count):
+            warp = warps[index]
+            index += 1
+            if index == count:
+                index = 0
             if (not warp.done and warp.pending_loads == 0
                     and warp.ready_tick <= now):
-                self._rr_index = (self._rr_index + step + 1) % count
+                self._rr_index = index
                 return warp
         return None
 
@@ -177,13 +182,12 @@ class StreamingMultiprocessor:
 
     def _execute(self, warp: _Warp, op: WarpOp, now: int) -> None:
         if op.kind is OpKind.COMPUTE:
-            warp.ready_tick = now + self.clock.cycles_to_ticks(
-                max(1, op.cycles))
+            warp.ready_tick = now + max(1, op.cycles) * self._period_ticks
             return
         if op.kind is OpKind.SHMEM:
             # scratchpad work: fixed-latency pipe, no cache traffic
             cycles = max(1, op.cycles) * self.shmem_latency_cycles
-            warp.ready_tick = now + self.clock.cycles_to_ticks(cycles)
+            warp.ready_tick = now + cycles * self._period_ticks
             return
         if op.kind is OpKind.LOAD:
             self._execute_load(warp, op, now)

@@ -51,17 +51,25 @@ class Link:
         self._message_count += 1
         self._byte_count += size_bytes
         used = self._epoch_used
-        epoch = now_tick // self._epoch_ticks
-        remaining = size_bytes
-        while True:
-            free = self._epoch_capacity - used.get(epoch, 0)
-            if free > 0:
-                taken = free if free < remaining else remaining
-                used[epoch] = used.get(epoch, 0) + taken
-                remaining -= taken
-                if remaining == 0:
-                    break
-            epoch += 1
+        epoch_ticks = self._epoch_ticks
+        capacity = self._epoch_capacity
+        epoch = now_tick // epoch_ticks
+        booked = used.get(epoch, 0)
+        if booked + size_bytes <= capacity:
+            # fast path: the whole message fits in the current epoch
+            used[epoch] = booked + size_bytes
+        else:
+            remaining = size_bytes
+            while True:
+                free = capacity - booked
+                if free > 0:
+                    taken = free if free < remaining else remaining
+                    used[epoch] = booked + taken
+                    remaining -= taken
+                    if remaining == 0:
+                        break
+                epoch += 1
+                booked = used.get(epoch, 0)
         # finish inside the final epoch, proportional to its occupancy
         finish = (epoch * self._epoch_ticks
                   + (used[epoch] * self._epoch_ticks)

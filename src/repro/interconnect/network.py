@@ -16,7 +16,7 @@ from typing import Dict, List
 
 from repro.engine.clock import ClockDomain
 from repro.interconnect.link import Link
-from repro.interconnect.message import NetworkMessage
+from repro.interconnect.message import MessageClass, NetworkMessage
 from repro.telemetry.tracer import TRACER
 from repro.utils.statistics import StatsRegistry
 
@@ -36,6 +36,19 @@ class Network:
     def send(self, message: NetworkMessage, now_tick: int) -> int:
         """Deliver *message*; return the arrival tick."""
         raise NotImplementedError
+
+    def send_raw(self, src: str, dst: str, msg_class, line_address: int,
+                 now_tick: int) -> int:
+        """Deliver a plain-field message; return the arrival tick.
+
+        The allocation-free fast path for senders that carry no payload
+        (the protocol engine sends millions of control messages whose
+        only content is src/dst/class/line).  The base implementation
+        wraps the fields in a :class:`NetworkMessage` so any subclass
+        that only implements :meth:`send` still works.
+        """
+        return self.send(NetworkMessage(src, dst, msg_class, line_address,
+                                        created_tick=now_tick), now_tick)
 
     def _account(self, message: NetworkMessage) -> None:
         self._messages.increment()
@@ -68,6 +81,13 @@ class Crossbar(Network):
         for node in node_names:
             self.add_node(node, bytes_per_cycle)
         self._bytes_per_cycle = bytes_per_cycle
+        #: per-class (wire size, vnet, trace label), computed once —
+        #: ``send_raw`` must not re-derive them per message
+        self._wire = {
+            msg_class: (msg_class.size_bytes(line_size),
+                        msg_class.virtual_network,
+                        msg_class.name.lower())
+            for msg_class in MessageClass}
 
     def add_node(self, node: str, bytes_per_cycle: int = 32) -> None:
         """Attach *node* to the crossbar (one link pair per vnet)."""
@@ -106,6 +126,31 @@ class Crossbar(Network):
                 arrival, track=self.name,
                 args={"src": message.src, "dst": message.dst,
                       "line": message.line_address, "bytes": size})
+        return arrival
+
+    def send_raw(self, src: str, dst: str, msg_class, line_address: int,
+                 now_tick: int) -> int:
+        """Route src→dst with no :class:`NetworkMessage` allocation.
+
+        Identical timing, accounting, and trace stream to :meth:`send`
+        for a payload-free message of *msg_class*.
+        """
+        egress = self._egress.get(src)
+        if egress is None:
+            raise KeyError(f"{self.name}: unknown source {src!r}")
+        ingress = self._ingress.get(dst)
+        if ingress is None:
+            raise KeyError(f"{self.name}: unknown dest {dst!r}")
+        size, vnet, label = self._wire[msg_class]
+        self._messages.value += 1
+        self._bytes.value += size
+        at_switch = egress[vnet].send(size, now_tick)
+        arrival = ingress[vnet].send(size, at_switch)
+        if TRACER.enabled:
+            TRACER.span(
+                "network", label, now_tick, arrival, track=self.name,
+                args={"src": src, "dst": dst,
+                      "line": line_address, "bytes": size})
         return arrival
 
     def link_queue_delay(self, node: str) -> int:

@@ -48,8 +48,16 @@ class SetAssociativeCache:
         self.layout = AddressLayout(line_size, num_sets, interleave,
                                     interleave_offset)
         self.num_sets = num_sets
-        self._sets: List[List[CacheLine]] = [
-            [CacheLine() for _ in range(ways)] for _ in range(num_sets)]
+        # Rows of CacheLine objects are materialised on first fill; big
+        # sparsely-used arrays (a 4 MiB L2 slice in a short benchmark)
+        # never pay for untouched sets.
+        self._sets: List[Optional[List[CacheLine]]] = [None] * num_sets
+        #: local line number -> (way, line) for every valid line; the
+        #: O(1) replacement for scanning a set's ways on lookup/probe
+        self._line_map: Dict[int, Tuple[int, CacheLine]] = {}
+        #: per-set bitmask of occupied ways (bit w set = way w valid)
+        self._valid_masks: List[int] = [0] * num_sets
+        self._full_mask = (1 << ways) - 1
         self.policy: ReplacementPolicy = make_replacement_policy(
             replacement, num_sets, ways)
         #: optional hook fired with (line_address, line) just before a
@@ -81,32 +89,21 @@ class SetAssociativeCache:
 
     def probe(self, address: int) -> Optional[CacheLine]:
         """Tag match with **no** side effects (no stats, no recency)."""
-        layout = self.layout
-        line_number = address >> layout.line_shift
-        tag = line_number >> layout.index_bits
-        for line in self._sets[line_number & layout.index_mask]:
-            if line.valid and line.tag == tag:
-                return line
-        return None
+        entry = self._line_map.get(address >> self.layout.line_shift)
+        return entry[1] if entry is not None else None
 
     def probe_batch(self, addresses: Sequence[int]
                     ) -> List[Optional[CacheLine]]:
         """Side-effect-free tag match for a batch of addresses.
 
-        Address decomposition is vectorized
-        (:meth:`~repro.mem.address.AddressLayout.decompose_batch`); the
-        result list is positionally parallel to *addresses*.
+        The result list is positionally parallel to *addresses*.
         """
-        set_indices, tags = self.layout.decompose_batch(addresses)
-        sets = self._sets
+        line_shift = self.layout.line_shift
+        line_map = self._line_map
         out: List[Optional[CacheLine]] = []
-        for set_index, tag in zip(set_indices, tags):
-            hit: Optional[CacheLine] = None
-            for line in sets[set_index]:
-                if line.valid and line.tag == tag:
-                    hit = line
-                    break
-            out.append(hit)
+        for address in addresses:
+            entry = line_map.get(address >> line_shift)
+            out.append(entry[1] if entry is not None else None)
         return out
 
     def lookup_batch(self, addresses: Sequence[int],
@@ -120,8 +117,9 @@ class SetAssociativeCache:
         batched.
         """
         layout = self.layout
-        set_indices, tags = layout.decompose_batch(addresses)
-        sets = self._sets
+        line_shift = layout.line_shift
+        index_mask = layout.index_mask
+        line_map = self._line_map
         policy_on_access = self.policy.on_access
         touched = self._touched
         demand_seen = self._demand_seen
@@ -129,18 +127,14 @@ class SetAssociativeCache:
         line_mask = layout.line_mask
         hits = misses = compulsory = first_touch = 0
         out: List[Optional[CacheLine]] = []
-        for position, (set_index, tag) in enumerate(zip(set_indices,
-                                                        tags)):
-            hit: Optional[CacheLine] = None
-            for way, line in enumerate(sets[set_index]):
-                if line.valid and line.tag == tag:
-                    policy_on_access(set_index, way)
-                    hit = line
-                    break
-            if hit is None:
+        for address in addresses:
+            local_line = address >> line_shift
+            entry = line_map.get(local_line)
+            if entry is None:
+                hit = None
                 misses += 1
                 if record_stats:
-                    line_addr = addresses[position] & line_mask
+                    line_addr = address & line_mask
                     is_compulsory = line_addr not in touched
                     if is_compulsory:
                         compulsory += 1
@@ -151,9 +145,11 @@ class SetAssociativeCache:
                             args={"line": line_addr,
                                   "compulsory": is_compulsory})
             else:
+                way, hit = entry
+                policy_on_access(local_line & index_mask, way)
                 hits += 1
                 if record_stats:
-                    line_addr = addresses[position] & line_mask
+                    line_addr = address & line_mask
                     if line_addr not in demand_seen:
                         demand_seen.add(line_addr)
                         first_touch += 1
@@ -173,7 +169,7 @@ class SetAssociativeCache:
     def has_free_way(self, address: int) -> bool:
         """Would a fill of *address* avoid evicting a valid line?"""
         set_index = self.layout.set_index(address)
-        return any(not line.valid for line in self._sets[set_index])
+        return self._valid_masks[set_index] != self._full_mask
 
     def lookup(self, address: int, record_stats: bool = True
                ) -> Optional[CacheLine]:
@@ -184,25 +180,24 @@ class SetAssociativeCache:
         counted as compulsory.
         """
         layout = self.layout
-        line_number = address >> layout.line_shift
-        set_index = line_number & layout.index_mask
-        tag = line_number >> layout.index_bits
+        local_line = address >> layout.line_shift
         if record_stats:
             self._accesses.value += 1
-        for way, line in enumerate(self._sets[set_index]):
-            if line.valid and line.tag == tag:
-                self.policy.on_access(set_index, way)
-                if record_stats:
-                    self._hits.value += 1
-                    line_addr = address & layout.line_mask
-                    if line_addr not in self._demand_seen:
-                        self._demand_seen.add(line_addr)
-                        self._first_touch_hits.value += 1
-                        if TRACER.enabled:
-                            TRACER.instant(
-                                "cache", "first_touch_hit", TRACER.now(),
-                                track=self.name, args={"line": line_addr})
-                return line
+        entry = self._line_map.get(local_line)
+        if entry is not None:
+            way, line = entry
+            self.policy.on_access(local_line & layout.index_mask, way)
+            if record_stats:
+                self._hits.value += 1
+                line_addr = address & layout.line_mask
+                if line_addr not in self._demand_seen:
+                    self._demand_seen.add(line_addr)
+                    self._first_touch_hits.value += 1
+                    if TRACER.enabled:
+                        TRACER.instant(
+                            "cache", "first_touch_hit", TRACER.now(),
+                            track=self.name, args={"line": line_addr})
+            return line
         if record_stats:
             self._misses.value += 1
             line_addr = address & layout.line_mask
@@ -230,21 +225,25 @@ class SetAssociativeCache:
         state/dirty/data so the controller can write it back.
         """
         layout = self.layout
-        line_number = address >> layout.line_shift
-        set_index = line_number & layout.index_mask
-        tag = line_number >> layout.index_bits
+        local_line = address >> layout.line_shift
+        set_index = local_line & layout.index_mask
+        tag = local_line >> layout.index_bits
         line_addr = address & layout.line_mask
+        if local_line in self._line_map:
+            raise ValueError(
+                f"{self.name}: double fill of line {line_addr:#x}")
         cache_set = self._sets[set_index]
+        if cache_set is None:
+            cache_set = self._sets[set_index] = [
+                CacheLine() for _ in range(self.ways)]
 
         victim: Optional[Tuple[int, CacheLine]] = None
-        target_way: Optional[int] = None
-        for way, line in enumerate(cache_set):
-            if line.valid and line.tag == tag:
-                raise ValueError(
-                    f"{self.name}: double fill of line {line_addr:#x}")
-            if not line.valid and target_way is None:
-                target_way = way
-        if target_way is None:
+        mask = self._valid_masks[set_index]
+        if mask != self._full_mask:
+            # lowest-index free way, as the way scan used to pick
+            free = ~mask & self._full_mask
+            target_way = (free & -free).bit_length() - 1
+        else:
             target_way = self.policy.victim_way(set_index)
             old = cache_set[target_way]
             victim_addr = self.layout.rebuild(old.tag, set_index)
@@ -254,38 +253,48 @@ class SetAssociativeCache:
             victim_copy.fill(old.tag, old.state, old.fill_tick,
                              old.data, old.dirty)
             victim = (victim_addr, victim_copy)
-            self._evictions.increment()
+            self._evictions.value += 1
             if old.dirty:
-                self._writebacks.increment()
+                self._writebacks.value += 1
+            del self._line_map[victim_addr >> layout.line_shift]
 
-        cache_set[target_way].fill(tag, state, tick, data, dirty)
+        line = cache_set[target_way]
+        line.fill(tag, state, tick, data, dirty)
         self.policy.on_fill(set_index, target_way)
+        self._line_map[local_line] = (target_way, line)
+        self._valid_masks[set_index] = mask | (1 << target_way)
         self._touched.add(line_addr)
         return victim
 
     def invalidate(self, address: int) -> Optional[CacheLine]:
         """Drop the line containing *address*; return a copy, or ``None``."""
-        set_index = self.layout.set_index(address)
-        tag = self.layout.tag(address)
-        for way, line in enumerate(self._sets[set_index]):
-            if line.valid and line.tag == tag:
-                copy = CacheLine()
-                copy.fill(line.tag, line.state, line.fill_tick,
-                          line.data, line.dirty)
-                line.invalidate()
-                self.policy.on_invalidate(set_index, way)
-                return copy
-        return None
+        local_line = address >> self.layout.line_shift
+        entry = self._line_map.pop(local_line, None)
+        if entry is None:
+            return None
+        way, line = entry
+        set_index = local_line & self.layout.index_mask
+        copy = CacheLine()
+        copy.fill(line.tag, line.state, line.fill_tick,
+                  line.data, line.dirty)
+        line.invalidate()
+        self._valid_masks[set_index] &= ~(1 << way)
+        self.policy.on_invalidate(set_index, way)
+        return copy
 
     def flash_invalidate(self) -> int:
         """Invalidate every line (GPU L1 at kernel launch); return count."""
         count = 0
         for set_index, cache_set in enumerate(self._sets):
+            if cache_set is None:
+                continue
             for way, line in enumerate(cache_set):
                 if line.valid:
                     line.invalidate()
                     self.policy.on_invalidate(set_index, way)
                     count += 1
+        self._line_map.clear()
+        self._valid_masks = [0] * self.num_sets
         return count
 
     # ------------------------------------------------------------------
@@ -296,6 +305,8 @@ class SetAssociativeCache:
         """All (line_address, line) pairs currently valid."""
         out = []
         for set_index, cache_set in enumerate(self._sets):
+            if cache_set is None:
+                continue
             for line in cache_set:
                 if line.valid:
                     out.append((self.layout.rebuild(line.tag, set_index),

@@ -64,11 +64,11 @@ class MSHRFile:
             raise ValueError(
                 f"{self.name}: line {line_address:#x} already in flight")
         if self.is_full:
-            self._full_stalls.increment()
+            self._full_stalls.value += 1
             return None
         entry = MSHREntry(line_address, issue_tick, is_write)
         self._entries[line_address] = entry
-        self._allocations.increment()
+        self._allocations.value += 1
         return entry
 
     def merge(self, line_address: int, waiter: Waiter) -> bool:
@@ -77,7 +77,7 @@ class MSHRFile:
         if entry is None:
             return False
         entry.waiters.append(waiter)
-        self._merges.increment()
+        self._merges.value += 1
         return True
 
     def complete(self, line_address: int) -> List[Waiter]:

@@ -58,8 +58,9 @@ class LRUReplacement(ReplacementPolicy):
 
     def on_access(self, set_index: int, way: int) -> None:
         stack = self._stacks[set_index]
-        stack.remove(way)
-        stack.append(way)
+        if stack[-1] != way:  # already MRU: remove+append is a no-op
+            stack.remove(way)
+            stack.append(way)
 
     def on_fill(self, set_index: int, way: int) -> None:
         self.on_access(set_index, way)

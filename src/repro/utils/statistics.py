@@ -8,6 +8,7 @@ an experiment can dump every statistic a component recorded.
 from __future__ import annotations
 
 import math
+from bisect import bisect_left
 from typing import Dict, Iterable, List, Optional
 
 
@@ -87,11 +88,8 @@ class Histogram:
             self.min_value = value
         if self.max_value is None or value > self.max_value:
             self.max_value = value
-        for index, bound in enumerate(self.bounds):
-            if value <= bound:
-                self.buckets[index] += 1
-                return
-        self.buckets[-1] += 1
+        # first bound >= value, or len(bounds) = the overflow bucket
+        self.buckets[bisect_left(self.bounds, value)] += 1
 
     @property
     def mean(self) -> float:

@@ -232,10 +232,12 @@ class TestEventQueueLiveCount:
             queue.pop().callback()
         assert fired == list(range(1, 100, 2))
 
-    def test_scheduling_precancelled_event_stays_dead(self):
+    def test_scheduling_precancelled_event_raises(self):
+        # events are single-use: pushing a cancelled one is a caller bug
         queue = EventQueue()
         event = Event(5, lambda: None)
         event.cancel()
-        queue.schedule(event)
+        with pytest.raises(ValueError, match="cancelled"):
+            queue.schedule(event)
         assert len(queue) == 0
         assert queue.pop() is None

@@ -1,0 +1,355 @@
+"""Engine-equivalence and event-lifecycle tests.
+
+Three kinds of coverage for the epoch-batched run loop:
+
+* the :class:`Event` single-use contract (schedule → cancel →
+  re-schedule must raise, not corrupt the queue's accounting);
+* fixed-seed property-style tests driving :class:`EventQueue` and
+  :class:`CompiledEventQueue` through random interleavings of
+  schedule / post / cancel / compaction against a naive sorted-list
+  reference model;
+* scalar vs epoch dispatch equivalence, including callbacks that
+  schedule same-tick work and cancel same-tick later events mid-batch,
+  and the event-budget trip point.
+"""
+
+import itertools
+import random
+
+import pytest
+
+from repro.engine.compiled import CompiledEventQueue
+from repro.engine.event import Event, EventQueue
+from repro.engine.modes import engine_mode
+from repro.engine.simulator import SimulationLimitError, Simulator
+
+QUEUE_CLASSES = [EventQueue, CompiledEventQueue]
+QUEUE_IDS = ["python-heap", "key-heap"]
+
+
+# ----------------------------------------------------------------------
+# the Event lifecycle contract
+# ----------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("queue_class", QUEUE_CLASSES, ids=QUEUE_IDS)
+class TestEventContract:
+    def test_rescheduling_a_fired_event_raises(self, queue_class):
+        queue = queue_class()
+        event = queue.schedule_at(5, lambda: None)
+        assert queue.pop_entry() is not None
+        assert event.fired
+        with pytest.raises(ValueError, match="fired"):
+            queue.schedule(event)
+
+    def test_scheduling_a_cancelled_event_raises(self, queue_class):
+        queue = queue_class()
+        event = Event(5, lambda: None)
+        event.cancel()
+        with pytest.raises(ValueError, match="cancelled"):
+            queue.schedule(event)
+
+    def test_rescheduling_a_queued_event_raises(self, queue_class):
+        queue = queue_class()
+        event = queue.schedule_at(5, lambda: None)
+        with pytest.raises(ValueError, match="already scheduled"):
+            queue.schedule(event)
+
+    def test_rescheduling_a_cancelled_queued_event_raises(self, queue_class):
+        # the regression that motivated the contract: schedule → cancel →
+        # schedule again used to corrupt the live/dead accounting
+        queue = queue_class()
+        event = queue.schedule_at(5, lambda: None)
+        event.cancel()
+        with pytest.raises(ValueError):
+            queue.schedule(event)
+        assert len(queue) == 0
+        assert queue.pop_entry() is None
+
+    def test_cancel_then_fresh_event_is_the_supported_reschedule(
+            self, queue_class):
+        queue = queue_class()
+        fired = []
+        first = queue.schedule_at(5, lambda: fired.append("old"))
+        first.cancel()
+        queue.schedule_at(3, lambda: fired.append("new"))
+        while queue.pop_entry() is not None:
+            pass
+        assert queue.current_tick == 3
+
+    def test_cancel_after_fire_is_a_silent_noop(self, queue_class):
+        queue = queue_class()
+        event = queue.schedule_at(5, lambda: None)
+        queue.pop_entry()
+        event.cancel()  # must not raise or skew the live count
+        assert len(queue) == 0
+
+    def test_past_tick_schedule_raises(self, queue_class):
+        queue = queue_class()
+        queue.post_at(10, lambda: None)
+        queue.pop_entry()
+        assert queue.current_tick == 10
+        with pytest.raises(ValueError, match="past"):
+            queue.schedule_at(9, lambda: None)
+        with pytest.raises(ValueError, match="past"):
+            queue.post_at(9, lambda: None)
+        with pytest.raises(ValueError, match="negative delay"):
+            queue.post_after(-1, lambda: None)
+
+
+# ----------------------------------------------------------------------
+# property-style: random interleavings vs a naive reference model
+# ----------------------------------------------------------------------
+
+
+class NaiveQueue:
+    """Reference model: a plain list sorted at drain time.
+
+    Mirrors the queue API surface the property test uses; every insert
+    consumes one sequence number, exactly like the real queues, so the
+    expected fire order is ``sorted by (tick, seq)`` minus cancellations.
+    """
+
+    def __init__(self):
+        self.cells = []
+        self._seq = itertools.count()
+
+    def add(self, tick, label):
+        cell = {"tick": tick, "seq": next(self._seq), "label": label,
+                "cancelled": False}
+        self.cells.append(cell)
+        return cell
+
+    def fire_order(self):
+        live = [cell for cell in self.cells if not cell["cancelled"]]
+        live.sort(key=lambda cell: (cell["tick"], cell["seq"]))
+        return [cell["label"] for cell in live]
+
+
+def _drain_per_event(queue):
+    """The Simulator._run dispatch shape, minus budgets."""
+    while True:
+        entry = queue.pop_entry()
+        if entry is None:
+            return
+        entry[3]()
+
+
+def _drain_per_epoch(queue):
+    """The Simulator._run_epoch dispatch shape, minus budgets."""
+    batch = []
+    while queue.pop_epoch(batch):
+        for entry in batch:
+            event = entry[2]
+            if event is not None and event.cancelled:
+                continue
+            entry[3]()
+
+
+@pytest.mark.parametrize("queue_class", QUEUE_CLASSES, ids=QUEUE_IDS)
+@pytest.mark.parametrize("drain", [_drain_per_event, _drain_per_epoch],
+                         ids=["per-event", "per-epoch"])
+@pytest.mark.parametrize("seed", [0, 1, 2, 3])
+def test_random_interleaving_matches_reference(queue_class, drain, seed):
+    rng = random.Random(seed)
+    queue = queue_class()
+    reference = NaiveQueue()
+    fired = []
+    handles = []  # (event, reference_cell) pairs still cancellable
+
+    for step in range(600):
+        roll = rng.random()
+        if roll < 0.35:
+            tick = rng.randrange(0, 40)
+            label = f"e{step}"
+            event = queue.schedule_at(
+                tick, lambda label=label: fired.append(label), name=label)
+            handles.append((event, reference.add(tick, label)))
+        elif roll < 0.60:
+            tick = rng.randrange(0, 40)
+            label = f"p{step}"
+            queue.post_at(tick, lambda label=label: fired.append(label))
+            reference.add(tick, label)
+        elif roll < 0.70:
+            delay = rng.randrange(0, 40)
+            label = f"d{step}"
+            queue.post_after(delay, lambda label=label: fired.append(label))
+            reference.add(delay, label)  # current_tick is 0 pre-drain
+        elif handles:
+            # cancel a random pending event (repeat cancels included) —
+            # heavy enough to trip compaction (>64 dead, dead > live)
+            event, cell = handles[rng.randrange(len(handles))]
+            event.cancel()
+            cell["cancelled"] = True
+
+    drain(queue)
+    assert fired == reference.fire_order()
+    assert len(queue) == 0
+    assert queue.pop_entry() is None
+
+
+@pytest.mark.parametrize("queue_class", QUEUE_CLASSES, ids=QUEUE_IDS)
+def test_compaction_is_triggered_and_preserves_order(queue_class):
+    queue = queue_class()
+    fired = []
+    victims = [queue.schedule_at(tick, lambda: fired.append("victim"))
+               for tick in range(200)]
+    queue.post_at(500, lambda: fired.append("survivor"))
+    for victim in victims:
+        victim.cancel()  # 200 dead vs 1 live: compaction must kick in
+    assert len(queue) == 1
+    assert queue.peek_tick() == 500
+    _drain_per_event(queue)
+    assert fired == ["survivor"]
+
+
+# ----------------------------------------------------------------------
+# scalar vs epoch dispatch equivalence
+# ----------------------------------------------------------------------
+
+
+def _dynamic_workload(queue, seed, spawn_budget=300):
+    """Callbacks that schedule same-tick work and cancel pending events.
+
+    The rng stream is consumed in fire order, so any ordering divergence
+    between two drain strategies derails the logs immediately.
+    """
+    rng = random.Random(seed)
+    log = []
+    pending = {}
+    counter = itertools.count()
+    budget = [spawn_budget]
+
+    def make(label):
+        def callback():
+            log.append((queue.current_tick, label))
+            roll = rng.random()
+            if roll < 0.45 and budget[0] > 0:
+                budget[0] -= 1
+                name = f"s{next(counter)}"
+                offset = rng.choice([0, 0, 1, 2, 5])
+                pending[name] = queue.schedule_at(
+                    queue.current_tick + offset, make(name), name=name)
+            elif roll < 0.60 and budget[0] > 0:
+                budget[0] -= 1
+                name = f"a{next(counter)}"
+                queue.post_after(rng.choice([0, 1, 3]), make(name))
+            elif roll < 0.75 and pending:
+                # may cancel a same-tick event already extracted into
+                # the current epoch batch — must be skipped either way
+                keys = sorted(pending)
+                victim = pending.pop(keys[rng.randrange(len(keys))])
+                victim.cancel()
+        return callback
+
+    for i in range(8):
+        name = f"root{i}"
+        pending[name] = queue.schedule_at(i % 3, make(name), name=name)
+    return log
+
+
+@pytest.mark.parametrize("queue_class", QUEUE_CLASSES, ids=QUEUE_IDS)
+@pytest.mark.parametrize("seed", [7, 11, 13])
+def test_epoch_dispatch_matches_per_event_dispatch(queue_class, seed):
+    scalar_queue = queue_class()
+    scalar_log = _dynamic_workload(scalar_queue, seed)
+    _drain_per_event(scalar_queue)
+
+    epoch_queue = queue_class()
+    epoch_log = _dynamic_workload(epoch_queue, seed)
+    _drain_per_epoch(epoch_queue)
+
+    assert scalar_log == epoch_log
+    assert scalar_queue.current_tick == epoch_queue.current_tick
+
+
+def test_compiled_queue_matches_python_queue():
+    seed = 99
+    python_queue = EventQueue()
+    python_log = _dynamic_workload(python_queue, seed)
+    _drain_per_epoch(python_queue)
+
+    compiled_queue = CompiledEventQueue()
+    compiled_log = _dynamic_workload(compiled_queue, seed)
+    _drain_per_epoch(compiled_queue)
+
+    assert python_log == compiled_log
+
+
+def test_in_batch_cancellation_is_honoured_by_both_loops():
+    # A (tick 5, earlier seq) cancels B (tick 5, later seq): B is already
+    # in the epoch batch when A runs, and must still be skipped.
+    for drain in (_drain_per_event, _drain_per_epoch):
+        queue = EventQueue()
+        fired = []
+        # cancelling an already-fired same-tick event is a no-op
+        b = queue.schedule_at(5, lambda: fired.append("b"), name="b")
+        queue.schedule_at(5, lambda: (b.cancel(), fired.append("a")),
+                          name="a")
+        drain(queue)
+        assert fired == ["b", "a"]
+
+        queue = EventQueue()
+        fired = []
+        queue.post_at(5, lambda: (victim.cancel(), fired.append("a")))
+        victim = queue.schedule_at(5, lambda: fired.append("b"), name="b")
+        drain(queue)
+        assert fired == ["a"], f"{drain.__name__} fired {fired}"
+
+
+def _budget_workload(queue):
+    """A chain of 20 one-per-tick events."""
+    fired = []
+
+    def step(i):
+        fired.append(i)
+        if i < 19:
+            queue.post_after(1, lambda: step(i + 1))
+
+    queue.post_at(0, lambda: step(0))
+    return fired
+
+
+def test_event_budget_trips_identically_across_modes(monkeypatch):
+    outcomes = {}
+    for mode_env in (None, "scalar", "compiled"):
+        monkeypatch.delenv("REPRO_SCALAR_ENGINE", raising=False)
+        monkeypatch.delenv("REPRO_COMPILED_ENGINE", raising=False)
+        if mode_env == "scalar":
+            monkeypatch.setenv("REPRO_SCALAR_ENGINE", "1")
+        elif mode_env == "compiled":
+            monkeypatch.setenv("REPRO_COMPILED_ENGINE", "1")
+        sim = Simulator(max_events=7)
+        fired = _budget_workload(sim.queue)
+        with pytest.raises(SimulationLimitError, match="event budget"):
+            sim.run()
+        outcomes[mode_env] = (tuple(fired), sim.events_fired, sim.now)
+    assert outcomes[None] == outcomes["scalar"] == outcomes["compiled"]
+
+
+def test_tick_budget_trips_identically_across_modes(monkeypatch):
+    outcomes = {}
+    for scalar in (False, True):
+        if scalar:
+            monkeypatch.setenv("REPRO_SCALAR_ENGINE", "1")
+        else:
+            monkeypatch.delenv("REPRO_SCALAR_ENGINE", raising=False)
+        sim = Simulator(max_ticks=10)
+        fired = _budget_workload(sim.queue)
+        with pytest.raises(SimulationLimitError, match="tick budget"):
+            sim.run()
+        outcomes[scalar] = tuple(fired)
+    assert outcomes[False] == outcomes[True]
+
+
+def test_engine_mode_resolution(monkeypatch):
+    monkeypatch.delenv("REPRO_SCALAR_ENGINE", raising=False)
+    monkeypatch.delenv("REPRO_COMPILED_ENGINE", raising=False)
+    assert engine_mode() == "epoch"
+    monkeypatch.setenv("REPRO_COMPILED_ENGINE", "1")
+    assert engine_mode() == "compiled"
+    monkeypatch.setenv("REPRO_SCALAR_ENGINE", "1")
+    assert engine_mode() == "scalar"  # scalar beats compiled
+    monkeypatch.setenv("REPRO_COMPILED_ENGINE", "0")
+    monkeypatch.setenv("REPRO_SCALAR_ENGINE", "0")
+    assert engine_mode() == "epoch"  # "0" means unset

@@ -87,3 +87,27 @@ class TestReport:
     def test_empty_report_has_zero_total(self):
         report = Profiler().report()
         assert "0.000" in report
+
+    def test_zero_time_sections_report_zero_percent(self, monkeypatch):
+        # every section sub-resolution: perf_counter never advances, so
+        # total profiled time is exactly 0.0 — the % column must not
+        # divide by it
+        profiler = make_clocked_profiler(monkeypatch, [5.0, 5.0, 5.0, 5.0])
+        with profiler.section("engine"):
+            pass
+        with profiler.section("cache"):
+            pass
+        assert profiler.total_seconds == 0.0
+        report = profiler.report()
+        assert "engine" in report and "cache" in report
+        assert "0.0%" in report
+        assert "nan" not in report and "inf" not in report
+
+    def test_report_on_rolled_back_reset_is_stable(self, monkeypatch):
+        profiler = make_clocked_profiler(monkeypatch, [0.0, 2.0])
+        with profiler.section("engine"):
+            pass
+        profiler.reset()
+        report = profiler.report()
+        assert "total" in report
+        assert "engine" not in report

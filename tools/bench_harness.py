@@ -28,6 +28,17 @@ Usage::
                            KM FW GC)
     --pipeline-repeats N   timing repeats per pipeline mode (default 3)
     --skip-pipeline        omit the warp_pipeline section
+    --engine-codes ...     codes timed under the scalar vs epoch vs
+                           compiled event engines for the engine_core
+                           section (default: KM FW)
+    --engine-repeats N     timing repeats per engine mode (default 3)
+    --skip-engine          omit the engine_core section
+
+The serial phase also records per-benchmark end-to-end seconds
+(``per_benchmark_s``) so a regression is attributable to a specific
+workload, and the previous record's serial time (when an output file
+already exists) is carried into ``previous_serial_uncached_s`` with the
+run-over-run speedup.
 """
 
 import argparse
@@ -108,6 +119,80 @@ def bench_warp_pipeline(codes, input_size, repeats):
     return section
 
 
+def bench_engine_core(codes, input_size, repeats):
+    """Time the scalar vs epoch vs compiled event engines per benchmark.
+
+    Mirrors :func:`bench_warp_pipeline`: every mode runs *repeats*
+    times in-process (best-of, first run discarded as warm-up when
+    repeats > 1), and the three engines must produce identical tick
+    counts or the record is flagged.  The env toggles work in-process
+    because the mode is resolved when each run's ``Simulator`` is
+    constructed.
+    """
+    from repro.engine.modes import COMPILED_ENGINE_ENV, SCALAR_ENGINE_ENV
+    env_names = (SCALAR_ENGINE_ENV, COMPILED_ENGINE_ENV)
+    saved = {name: os.environ.get(name) for name in env_names}
+    env_by_mode = {"scalar": {SCALAR_ENGINE_ENV: "1"},
+                   "epoch": {},
+                   "compiled": {COMPILED_ENGINE_ENV: "1"}}
+    section = {"input_size": input_size, "repeats": repeats,
+               "benchmarks": {}}
+    try:
+        for code in codes:
+            entry = {}
+            ticks = {}
+            for label, env in env_by_mode.items():
+                for name in env_names:
+                    os.environ.pop(name, None)
+                os.environ.update(env)
+                times = []
+                for _ in range(repeats):
+                    start = time.perf_counter()
+                    result = run_benchmark(code, input_size,
+                                           CoherenceMode.DIRECT_STORE)
+                    times.append(time.perf_counter() - start)
+                best = min(times[1:]) if len(times) > 1 else times[0]
+                entry[f"{label}_s"] = round(best, 3)
+                ticks[label] = result.total_ticks
+            entry["speedup_epoch_vs_scalar"] = round(
+                entry["scalar_s"] / entry["epoch_s"], 2)
+            entry["total_ticks"] = ticks["epoch"]
+            entry["ticks_identical"] = len(set(ticks.values())) == 1
+            section["benchmarks"][code] = entry
+            print(f"engine_core    {code}: scalar {entry['scalar_s']}s, "
+                  f"epoch {entry['epoch_s']}s, "
+                  f"compiled {entry['compiled_s']}s (ticks "
+                  f"{'equal' if entry['ticks_identical'] else 'DIFFER'})",
+                  file=sys.stderr)
+    finally:
+        for name, value in saved.items():
+            if value is None:
+                os.environ.pop(name, None)
+            else:
+                os.environ[name] = value
+    section["ticks_identical"] = all(
+        entry["ticks_identical"]
+        for entry in section["benchmarks"].values())
+    return section
+
+
+def run_serial_phase(points):
+    """Serial baseline with per-point timing (one process, no cache)."""
+    results = []
+    per_point = {}
+    start = time.perf_counter()
+    for point in points:
+        point_start = time.perf_counter()
+        results.append(run_benchmark(point.code, point.input_size,
+                                     point.mode))
+        per_point[f"{point.code}/{point.mode.value}"] = round(
+            time.perf_counter() - point_start, 3)
+    elapsed = time.perf_counter() - start
+    print(f"{'serial':14s} {elapsed:8.2f}s "
+          f"({len(points)} runs, jobs=1, cache_hits=0)", file=sys.stderr)
+    return elapsed, results, per_point
+
+
 def build_points(codes, input_size):
     points = []
     for code in codes:
@@ -146,6 +231,9 @@ def main(argv=None):
                         default=["KM", "FW", "GC"])
     parser.add_argument("--pipeline-repeats", type=int, default=3)
     parser.add_argument("--skip-pipeline", action="store_true")
+    parser.add_argument("--engine-codes", nargs="*", default=["KM", "FW"])
+    parser.add_argument("--engine-repeats", type=int, default=3)
+    parser.add_argument("--skip-engine", action="store_true")
     args = parser.parse_args(argv)
 
     codes = args.codes or benchmark_codes()
@@ -171,12 +259,24 @@ def main(argv=None):
         "phases": {},
     }
 
+    previous_serial = None
+    output_path = Path(args.output)
+    if output_path.exists():
+        try:
+            previous_serial = json.loads(output_path.read_text())[
+                "phases"].get("serial_uncached_s")
+        except (ValueError, KeyError):
+            previous_serial = None
+
     serial_results = None
     if not args.skip_serial:
-        serial_runner = ParallelRunner(jobs=1, cache=None)
-        serial_s, serial_results = run_phase("serial", serial_runner,
-                                             points)
+        serial_s, serial_results, per_point_s = run_serial_phase(points)
         record["phases"]["serial_uncached_s"] = round(serial_s, 3)
+        record["per_benchmark_s"] = per_point_s
+        if previous_serial:
+            record["previous_serial_uncached_s"] = previous_serial
+            record["speedup_vs_previous_record"] = round(
+                previous_serial / serial_s, 2)
 
     parallel_runner = ParallelRunner(jobs=args.jobs, cache=cache)
     parallel_s, parallel_results = run_phase("parallel cold",
@@ -207,7 +307,12 @@ def main(argv=None):
             args.pipeline_codes, args.input_size, args.pipeline_repeats)
         identical = identical and record["warp_pipeline"]["ticks_identical"]
 
-    Path(args.output).write_text(json.dumps(record, indent=2) + "\n")
+    if not args.skip_engine:
+        record["engine_core"] = bench_engine_core(
+            args.engine_codes, args.input_size, args.engine_repeats)
+        identical = identical and record["engine_core"]["ticks_identical"]
+
+    output_path.write_text(json.dumps(record, indent=2) + "\n")
     print(f"wrote {args.output}", file=sys.stderr)
     if not identical:
         print("ERROR: parallel/cached results differ from baseline",
