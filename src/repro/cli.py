@@ -10,6 +10,8 @@ Subcommands:
 ``table2``     print the benchmark inventory
 ``translate``  run the §III-C source translator on a .cu file
 ``sweep``      ablation sweeps (ds-latency, ds-bandwidth, l2-size)
+``serve``      long-running simulation job server (docs/SERVICE.md)
+``submit``     submit one job to a running server and await the result
 """
 
 from __future__ import annotations
@@ -133,6 +135,45 @@ def _parser() -> argparse.ArgumentParser:
     sweep.add_argument("code", nargs="?", default="VA")
     _add_common(sweep)
     _add_execution(sweep)
+
+    serve = sub.add_parser(
+        "serve", help="run the simulation job server")
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=8787)
+    serve.add_argument(
+        "--jobs", "-j", type=int, default=None,
+        help="worker processes (default: REPRO_JOBS or all cores)")
+    serve.add_argument(
+        "--timeout", type=float, default=None, metavar="SECONDS",
+        help="per-job wall-clock timeout (default: REPRO_SERVE_TIMEOUT "
+             "or none)")
+    serve.add_argument(
+        "--no-cache", action="store_true",
+        help="neither read nor write the persistent result cache")
+    serve.add_argument(
+        "--cache-dir", default=None,
+        help="result cache directory (default: REPRO_CACHE_DIR "
+             "or .repro_cache)")
+    serve.add_argument(
+        "--cache-bytes", type=int, default=None, metavar="BYTES",
+        help="evict oldest entries beyond this budget (default: "
+             "REPRO_CACHE_BYTES or unbounded)")
+
+    submit = sub.add_parser(
+        "submit", help="submit one job to a running server")
+    submit.add_argument("code", help="Table II code, e.g. VA")
+    submit.add_argument("--mode", choices=sorted(MODES),
+                        default="direct_store")
+    submit.add_argument(
+        "--url", default="http://127.0.0.1:8787",
+        help="server base URL (default http://127.0.0.1:8787)")
+    submit.add_argument(
+        "--sample-interval", type=int, default=0, metavar="TICKS",
+        help="request an interval time-series every TICKS ticks")
+    submit.add_argument(
+        "--no-wait", action="store_true",
+        help="print the job id and exit without awaiting the result")
+    _add_common(submit)
     return parser
 
 
@@ -323,6 +364,67 @@ def _cmd_sweep(args) -> int:
     return 0
 
 
+def _cmd_serve(args) -> int:
+    import os
+    from repro.harness.resultcache import ResultCache
+    from repro.serve.scheduler import TIMEOUT_ENV
+    from repro.serve.server import run_server
+    if args.no_cache:
+        cache = None
+    else:
+        cache = ResultCache(args.cache_dir or None,
+                            byte_budget=args.cache_bytes)
+    timeout = args.timeout
+    if timeout is None:
+        env = os.environ.get(TIMEOUT_ENV, "").strip()
+        if env:
+            try:
+                timeout = float(env)
+            except ValueError:
+                raise ValueError(f"{TIMEOUT_ENV} must be a number, "
+                                 f"got {env!r}") from None
+    return run_server(args.host, args.port, cache=cache, jobs=args.jobs,
+                      timeout_s=timeout)
+
+
+def _cmd_submit(args) -> int:
+    from repro.serve.client import ServeClient, ServiceError
+    client = ServeClient.from_url(args.url)
+    telemetry = ({"sample_interval": args.sample_interval}
+                 if args.sample_interval > 0 else None)
+    try:
+        job = client.submit(args.code, args.input_size, args.mode,
+                            telemetry=telemetry)
+        job_id = job["job_id"]
+        print(f"job {job_id} [{job['state']}] "
+              f"{job['code']}/{job['input_size']} {job['mode']}",
+              file=sys.stderr)
+        if args.no_wait:
+            print(job_id)
+            return 0
+        for transition in client.watch(job_id):
+            print(f"  {transition['state']}", file=sys.stderr)
+        status = client.status(job_id)
+        if status["state"] != "done":
+            print(f"repro submit: job {status['state']}: "
+                  f"{status.get('error') or 'no result'}",
+                  file=sys.stderr)
+            return 1
+        result = client.run_result(job_id)
+        print(result.summary())
+        print(f"(served from cache: "
+              f"{'yes' if status.get('cached') else 'no'})",
+              file=sys.stderr)
+    except ServiceError as exc:
+        print(f"repro submit: {exc}", file=sys.stderr)
+        return 1
+    except ConnectionError:
+        print(f"repro submit: cannot reach {args.url} — is "
+              f"'python -m repro serve' running?", file=sys.stderr)
+        return 1
+    return 0
+
+
 _COMMANDS = {
     "run": _cmd_run,
     "compare": _cmd_compare,
@@ -332,6 +434,8 @@ _COMMANDS = {
     "table2": _cmd_table2,
     "translate": _cmd_translate,
     "sweep": _cmd_sweep,
+    "serve": _cmd_serve,
+    "submit": _cmd_submit,
 }
 
 

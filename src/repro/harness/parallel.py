@@ -196,22 +196,39 @@ class ParallelRunner:
             # no usable process pool here (restricted sandbox); degrade
             self._run_serial(pending, results, progress)
             return
+        from concurrent.futures import BrokenExecutor
+        futures: List[Tuple[int, RunPoint, "Future[RunResult]"]] = []
         try:
             with executor:
-                futures = [(index, point,
-                            executor.submit(_execute_point, point))
-                           for index, point in pending]
+                for index, point in pending:
+                    futures.append((index, point,
+                                    executor.submit(_execute_point, point)))
                 for index, point, future in futures:
                     try:
                         result = future.result()
+                    except BrokenExecutor:
+                        # the pool died mid-run (a worker was killed);
+                        # not this point's fault — re-dispatch below
+                        raise
                     except Exception as exc:
                         raise WorkerError(point, exc) from exc
                     self._finish(index, point, result, results, progress)
         except WorkerError:
             raise
         except (OSError, RuntimeError):
-            # the pool itself broke (e.g. fork refused at submit time);
-            # fall back to in-process execution for whatever remains
+            # the pool itself broke (fork refused at submit time, a
+            # worker killed mid-run, ...); keep whatever the pool did
+            # finish, then fall back to in-process execution for only
+            # the points that never produced a result
+            for index, point, future in futures:
+                if (results[index] is not None or not future.done()
+                        or future.cancelled()):
+                    continue
+                try:
+                    result = future.result()
+                except Exception:
+                    continue  # re-dispatched below; runs are idempotent
+                self._finish(index, point, result, results, progress)
             unfinished = [(index, point) for index, point in pending
                           if results[index] is None]
             if not unfinished:

@@ -9,21 +9,41 @@ the outcome.  A config tweak, a benchmark change, or a bump of
 are never returned — they simply stop being addressed and the point is
 recomputed.
 
-Layout: one ``<fingerprint>.json`` file per run under the cache root
-(default ``.repro_cache/`` in the working directory, overridable with
-``REPRO_CACHE_DIR`` or the constructor).  Corrupted or truncated entry
-files are treated as misses and deleted.  ``REPRO_NO_CACHE=1``
-disables the default cache entirely.
+Layout: entries are sharded by fingerprint prefix —
+``<fp[:2]>/<fingerprint>.json`` under the cache root (default
+``.repro_cache/`` in the working directory, overridable with
+``REPRO_CACHE_DIR`` or the constructor) — so many cooperating workers
+or hosts can share one cache without a thousand-file flat directory.
+Entries written by older versions live flat at
+``<fingerprint>.json``; reads fall through to that legacy location
+transparently, so upgrading never invalidates a warm cache.  Corrupted
+or truncated entry files are treated as misses and deleted.
+``REPRO_NO_CACHE=1`` disables the default cache entirely.
+
+Writers stage entries as ``<fp>.<pid>.<seq>.tmp`` and atomically
+rename into place, so concurrent writers of the same fingerprint (two
+pool workers, two hosts on a shared filesystem) never interleave and
+a crash never leaves a torn entry.  Orphaned temp files from crashed
+writers are swept by :meth:`ResultCache.clear` and
+:meth:`ResultCache.compact`.
+
+Eviction: :meth:`ResultCache.compact` enforces an optional byte budget
+(constructor argument or ``REPRO_CACHE_BYTES``) by deleting entries
+oldest-mtime-first — LRU, since :meth:`ResultCache.get` refreshes the
+mtime of every entry it serves.  :meth:`ResultCache.scan` reports
+entry/byte/shard counts as a :class:`CacheStats`.
 """
 
 from __future__ import annotations
 
 import dataclasses
 import hashlib
+import itertools
 import json
 import os
+import time
 from pathlib import Path
-from typing import Optional, Union
+from typing import Iterator, List, Optional, Union
 
 from repro.core.config import SystemConfig
 from repro.core.metrics import RunResult
@@ -41,6 +61,18 @@ DEFAULT_CACHE_DIR = ".repro_cache"
 #: environment overrides
 CACHE_DIR_ENV = "REPRO_CACHE_DIR"
 NO_CACHE_ENV = "REPRO_NO_CACHE"
+CACHE_BYTES_ENV = "REPRO_CACHE_BYTES"
+
+#: how many leading fingerprint characters name the shard directory
+SHARD_PREFIX_LEN = 2
+
+#: a ``.tmp`` file older than this is an orphan from a crashed writer;
+#: younger ones may belong to an in-progress put and are left alone
+STALE_TMP_SECONDS = 600.0
+
+#: per-process sequence for unique temp names (pid alone is not enough:
+#: one process may write the same fingerprint from several threads)
+_TMP_COUNTER = itertools.count()
 
 
 def config_fingerprint_payload(config: SystemConfig) -> dict:
@@ -75,18 +107,71 @@ def run_fingerprint(code: str, input_size: str, mode: CoherenceMode,
     return hashlib.sha256(canonical.encode()).hexdigest()
 
 
+@dataclasses.dataclass(frozen=True)
+class CacheStats:
+    """One scan of the cache directory (see :meth:`ResultCache.scan`)."""
+
+    entries: int = 0
+    total_bytes: int = 0
+    shard_dirs: int = 0
+    legacy_entries: int = 0
+    stale_tmp: int = 0
+
+    def to_dict(self) -> dict:
+        return dataclasses.asdict(self)
+
+
+def resolve_byte_budget(byte_budget: Optional[int] = None) -> Optional[int]:
+    """Eviction budget: explicit argument > ``REPRO_CACHE_BYTES`` > none."""
+    if byte_budget is not None:
+        return byte_budget
+    env = os.environ.get(CACHE_BYTES_ENV, "").strip()
+    if not env:
+        return None
+    try:
+        return int(env)
+    except ValueError:
+        raise ValueError(
+            f"{CACHE_BYTES_ENV} must be an integer, got {env!r}") from None
+
+
 class ResultCache:
     """On-disk store of :class:`RunResult` keyed by run fingerprint."""
 
-    def __init__(self, directory: Union[str, Path, None] = None) -> None:
+    def __init__(self, directory: Union[str, Path, None] = None,
+                 byte_budget: Optional[int] = None) -> None:
         if directory is None:
             directory = os.environ.get(CACHE_DIR_ENV) or DEFAULT_CACHE_DIR
         self.directory = Path(directory)
+        self.byte_budget = resolve_byte_budget(byte_budget)
         self.hits = 0
         self.misses = 0
+        self.evictions = 0
+
+    # -- layout --------------------------------------------------------
 
     def _entry_path(self, fingerprint: str) -> Path:
+        return (self.directory / fingerprint[:SHARD_PREFIX_LEN]
+                / f"{fingerprint}.json")
+
+    def _legacy_path(self, fingerprint: str) -> Path:
         return self.directory / f"{fingerprint}.json"
+
+    def _iter_entries(self) -> Iterator[Path]:
+        """Every entry file: sharded first, then legacy flat ones."""
+        if not self.directory.is_dir():
+            return
+        yield from self.directory.glob(
+            "?" * SHARD_PREFIX_LEN + "/*.json")
+        yield from self.directory.glob("*.json")
+
+    def _iter_tmp(self) -> Iterator[Path]:
+        if not self.directory.is_dir():
+            return
+        yield from self.directory.glob("?" * SHARD_PREFIX_LEN + "/*.tmp")
+        yield from self.directory.glob("*.tmp")
+
+    # -- read / write --------------------------------------------------
 
     def get(self, code: str, input_size: str, mode: CoherenceMode,
             config: SystemConfig,
@@ -94,34 +179,43 @@ class ResultCache:
             ) -> Optional[RunResult]:
         """Return the cached run, or ``None`` on a miss.
 
-        A corrupted entry (bad JSON, missing fields, wrong schema) is
-        removed and reported as a miss.
+        The sharded location is tried first, then the legacy flat one
+        (entries written before sharding), so old caches stay warm.  A
+        corrupted entry (bad JSON, missing fields, wrong schema) is
+        removed and the lookup falls through.  Served entries get their
+        mtime refreshed so eviction is LRU rather than FIFO.
         """
-        path = self._entry_path(
-            run_fingerprint(code, input_size, mode, config, telemetry))
-        try:
-            document = json.loads(path.read_text())
-            if document.get("schema_version") != CACHE_SCHEMA_VERSION:
-                raise ValueError("schema version mismatch")
-            result = RunResult.from_dict(document["result"])
-        except FileNotFoundError:
-            self.misses += 1
-            return None
-        except (ValueError, KeyError, TypeError, OSError):
-            self.misses += 1
-            path.unlink(missing_ok=True)
-            return None
-        self.hits += 1
-        return result
+        fingerprint = run_fingerprint(code, input_size, mode, config,
+                                      telemetry)
+        for path in (self._entry_path(fingerprint),
+                     self._legacy_path(fingerprint)):
+            try:
+                document = json.loads(path.read_text())
+                if document.get("schema_version") != CACHE_SCHEMA_VERSION:
+                    raise ValueError("schema version mismatch")
+                result = RunResult.from_dict(document["result"])
+            except FileNotFoundError:
+                continue
+            except (ValueError, KeyError, TypeError, OSError):
+                path.unlink(missing_ok=True)
+                continue
+            self.hits += 1
+            try:
+                os.utime(path)  # mark recently-used for LRU eviction
+            except OSError:
+                pass
+            return result
+        self.misses += 1
+        return None
 
     def put(self, code: str, input_size: str, mode: CoherenceMode,
             config: SystemConfig, result: RunResult,
             telemetry: Optional[TelemetrySettings] = None) -> Path:
         """Store one finished run; returns the entry path."""
-        self.directory.mkdir(parents=True, exist_ok=True)
         fingerprint = run_fingerprint(code, input_size, mode, config,
                                       telemetry)
         path = self._entry_path(fingerprint)
+        path.parent.mkdir(parents=True, exist_ok=True)
         document = {
             "schema_version": CACHE_SCHEMA_VERSION,
             "fingerprint": fingerprint,
@@ -132,25 +226,110 @@ class ResultCache:
             # provenance: which code/interpreter produced this entry
             "manifest": run_manifest(config),
         }
-        # write-then-rename so a crashed writer never leaves a torn entry
-        tmp = path.with_suffix(".tmp")
+        # write-then-rename so a crashed writer never leaves a torn
+        # entry; the temp name is unique per (pid, sequence) so two
+        # writers finishing the same fingerprint never interleave
+        tmp = path.with_name(
+            f"{fingerprint}.{os.getpid()}.{next(_TMP_COUNTER)}.tmp")
         tmp.write_text(json.dumps(document))
         tmp.replace(path)
+        if self.byte_budget is not None:
+            self.compact()
         return path
 
+    # -- maintenance ---------------------------------------------------
+
+    def scan(self) -> CacheStats:
+        """Walk the cache directory once and report what is in it."""
+        entries = 0
+        total_bytes = 0
+        legacy = 0
+        shard_dirs = set()
+        for path in self._iter_entries():
+            try:
+                size = path.stat().st_size
+            except OSError:
+                continue
+            entries += 1
+            total_bytes += size
+            if path.parent == self.directory:
+                legacy += 1
+            else:
+                shard_dirs.add(path.parent.name)
+        stale_tmp = sum(1 for tmp in self._iter_tmp()
+                        if self._tmp_is_stale(tmp))
+        return CacheStats(entries=entries, total_bytes=total_bytes,
+                          shard_dirs=len(shard_dirs),
+                          legacy_entries=legacy, stale_tmp=stale_tmp)
+
+    @staticmethod
+    def _tmp_is_stale(tmp: Path,
+                      max_age_s: float = STALE_TMP_SECONDS) -> bool:
+        try:
+            return time.time() - tmp.stat().st_mtime >= max_age_s
+        except OSError:
+            return False
+
+    def compact(self, byte_budget: Optional[int] = None,
+                stale_tmp_s: float = STALE_TMP_SECONDS) -> int:
+        """Sweep orphaned temp files and enforce the byte budget.
+
+        Temp files older than *stale_tmp_s* are deleted (a crashed
+        writer never comes back for them; a live one renames within
+        milliseconds).  Then, if a budget applies (argument, else the
+        constructor/``REPRO_CACHE_BYTES`` budget), entries are deleted
+        oldest-mtime-first — ties broken by filename so the order is
+        deterministic — until the cache fits.  Returns the number of
+        entries evicted.
+        """
+        for tmp in self._iter_tmp():
+            if self._tmp_is_stale(tmp, stale_tmp_s):
+                tmp.unlink(missing_ok=True)
+        budget = (byte_budget if byte_budget is not None
+                  else self.byte_budget)
+        if budget is None:
+            return 0
+        entries: List[tuple] = []
+        total = 0
+        for path in self._iter_entries():
+            try:
+                stat = path.stat()
+            except OSError:
+                continue
+            entries.append((stat.st_mtime_ns, path.name, path,
+                            stat.st_size))
+            total += stat.st_size
+        entries.sort(key=lambda item: (item[0], item[1]))
+        evicted = 0
+        for _mtime, _name, path, size in entries:
+            if total <= budget:
+                break
+            path.unlink(missing_ok=True)
+            total -= size
+            evicted += 1
+        self.evictions += evicted
+        return evicted
+
     def clear(self) -> int:
-        """Delete every entry; returns the number removed."""
+        """Delete every entry (and any temp file); returns entries removed."""
         removed = 0
+        for entry in self._iter_entries():
+            entry.unlink(missing_ok=True)
+            removed += 1
+        for tmp in self._iter_tmp():
+            tmp.unlink(missing_ok=True)
         if self.directory.is_dir():
-            for entry in self.directory.glob("*.json"):
-                entry.unlink(missing_ok=True)
-                removed += 1
+            for shard in self.directory.iterdir():
+                if (shard.is_dir()
+                        and len(shard.name) == SHARD_PREFIX_LEN):
+                    try:
+                        shard.rmdir()  # only succeeds when empty
+                    except OSError:
+                        pass
         return removed
 
     def __len__(self) -> int:
-        if not self.directory.is_dir():
-            return 0
-        return sum(1 for _ in self.directory.glob("*.json"))
+        return sum(1 for _ in self._iter_entries())
 
     def __repr__(self) -> str:
         return (f"ResultCache({self.directory}, hits={self.hits}, "

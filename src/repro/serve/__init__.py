@@ -1,0 +1,37 @@
+"""Simulation-as-a-service: an asyncio job server over the harness.
+
+The evaluation sweep is embarrassingly parallel and fully
+deterministic, so simulation results can be served the way an
+inference stack serves requests: a job is identified by its
+content-addressed ``run_fingerprint``, identical in-flight submissions
+coalesce onto one execution, and finished runs live in the sharded
+persistent :class:`~repro.harness.resultcache.ResultCache`.
+
+Modules:
+
+``jobs``       payload validation, :class:`Job` lifecycle/state model
+``scheduler``  in-flight dedupe + bounded process-pool execution
+``httpd``      minimal stdlib HTTP/1.1 layer (no framework)
+``server``     the :class:`ReproServer` routes and entry points
+``client``     small blocking client used by the CLI and tests
+
+See ``docs/SERVICE.md`` for the HTTP API.
+"""
+
+from repro.serve.client import ServeClient, ServiceError
+from repro.serve.jobs import Job, JobError, JobState, parse_job_payload
+from repro.serve.scheduler import JobScheduler
+from repro.serve.server import ReproServer, ServerThread, run_server
+
+__all__ = [
+    "Job",
+    "JobError",
+    "JobScheduler",
+    "JobState",
+    "ReproServer",
+    "ServeClient",
+    "ServerThread",
+    "ServiceError",
+    "parse_job_payload",
+    "run_server",
+]

@@ -1,0 +1,159 @@
+"""A small blocking client for the simulation service.
+
+Used by ``python -m repro submit``, the CI smoke job, the benchmark
+harness, and the tests.  Pure stdlib (``http.client``); one connection
+per request, matching the server's ``Connection: close`` discipline.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import time
+from typing import Any, Dict, Iterator, Optional
+from urllib.parse import urlsplit
+
+from repro.core.metrics import RunResult
+
+DEFAULT_TIMEOUT_S = 600.0
+
+
+class ServiceError(RuntimeError):
+    """A non-2xx answer from the service."""
+
+    def __init__(self, status: int, message: str) -> None:
+        super().__init__(f"HTTP {status}: {message}")
+        self.status = status
+        self.message = message
+
+
+class ServeClient:
+    """Blocking HTTP client for one :class:`ReproServer`."""
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 8787,
+                 timeout_s: float = DEFAULT_TIMEOUT_S) -> None:
+        self.host = host
+        self.port = port
+        self.timeout_s = timeout_s
+
+    @classmethod
+    def from_url(cls, url: str,
+                 timeout_s: float = DEFAULT_TIMEOUT_S) -> "ServeClient":
+        split = urlsplit(url if "//" in url else f"//{url}")
+        if not split.hostname:
+            raise ValueError(f"malformed service URL {url!r}")
+        return cls(split.hostname, split.port or 8787,
+                   timeout_s=timeout_s)
+
+    # -- transport -----------------------------------------------------
+
+    def _connection(self) -> http.client.HTTPConnection:
+        return http.client.HTTPConnection(self.host, self.port,
+                                          timeout=self.timeout_s)
+
+    def _request(self, method: str, path: str,
+                 payload: Any = None) -> Dict[str, Any]:
+        connection = self._connection()
+        try:
+            body = None
+            headers = {}
+            if payload is not None:
+                body = json.dumps(payload)
+                headers["Content-Type"] = "application/json"
+            connection.request(method, path, body=body, headers=headers)
+            response = connection.getresponse()
+            document = json.loads(response.read().decode("utf-8"))
+        finally:
+            connection.close()
+        if response.status >= 400:
+            raise ServiceError(response.status,
+                               document.get("error", "unknown error"))
+        return document
+
+    # -- API -----------------------------------------------------------
+
+    def healthz(self) -> bool:
+        return bool(self._request("GET", "/healthz").get("ok"))
+
+    def submit(self, code: str, input_size: str = "small",
+               mode: str = "direct_store",
+               config: Optional[Dict[str, Any]] = None,
+               telemetry: Optional[Dict[str, Any]] = None
+               ) -> Dict[str, Any]:
+        """Submit one point; returns the job status document."""
+        payload: Dict[str, Any] = {"code": code,
+                                   "input_size": input_size,
+                                   "mode": mode}
+        if config is not None:
+            payload["config"] = config
+        if telemetry is not None:
+            payload["telemetry"] = telemetry
+        return self._request("POST", "/jobs", payload)
+
+    def status(self, job_id: str) -> Dict[str, Any]:
+        return self._request("GET", f"/jobs/{job_id}")
+
+    def result(self, job_id: str) -> Dict[str, Any]:
+        """The raw result document (job must be done)."""
+        return self._request("GET", f"/jobs/{job_id}/result")
+
+    def run_result(self, job_id: str) -> RunResult:
+        """The finished run, reconstructed into a :class:`RunResult`."""
+        return RunResult.from_dict(self.result(job_id)["result"])
+
+    def cancel(self, job_id: str) -> Dict[str, Any]:
+        return self._request("DELETE", f"/jobs/{job_id}")
+
+    def stats(self) -> Dict[str, Any]:
+        return self._request("GET", "/stats")
+
+    def watch(self, job_id: str) -> Iterator[Dict[str, Any]]:
+        """Stream state transitions (NDJSON) until the job is terminal."""
+        connection = self._connection()
+        try:
+            connection.request("GET", f"/jobs/{job_id}?watch=1")
+            response = connection.getresponse()
+            if response.status >= 400:
+                document = json.loads(response.read().decode("utf-8"))
+                raise ServiceError(response.status,
+                                   document.get("error", "unknown"))
+            for line in response:
+                line = line.strip()
+                if line:
+                    yield json.loads(line.decode("utf-8"))
+        finally:
+            connection.close()
+
+    def wait(self, job_id: str,
+             timeout_s: Optional[float] = None) -> Dict[str, Any]:
+        """Block until the job is terminal; returns its final status.
+
+        Follows the streaming watch endpoint (no polling); *timeout_s*
+        bounds the whole wait, defaulting to the client timeout.
+        """
+        deadline = time.monotonic() + (timeout_s if timeout_s is not None
+                                       else self.timeout_s)
+        for _transition in self.watch(job_id):
+            if time.monotonic() > deadline:
+                raise TimeoutError(
+                    f"job {job_id} not terminal after timeout")
+        return self.status(job_id)
+
+    def submit_and_wait(self, code: str, input_size: str = "small",
+                        mode: str = "direct_store",
+                        config: Optional[Dict[str, Any]] = None,
+                        telemetry: Optional[Dict[str, Any]] = None,
+                        timeout_s: Optional[float] = None) -> RunResult:
+        """Submit, wait for completion, and return the run.
+
+        Raises :class:`ServiceError` when the job fails or is
+        cancelled.
+        """
+        job = self.submit(code, input_size, mode, config=config,
+                          telemetry=telemetry)
+        status = self.wait(job["job_id"], timeout_s=timeout_s)
+        if status["state"] != "done":
+            raise ServiceError(
+                500, f"job {status['state']}: "
+                     f"{status.get('error') or 'no result'}")
+        return self.run_result(job["job_id"])

@@ -1,0 +1,160 @@
+"""A minimal HTTP/1.1 layer over asyncio streams.
+
+The service intentionally avoids web frameworks: the dependency
+surface stays the stdlib, and the whole wire format fits in one small
+module.  Supported: request-line + header parsing, bodies delimited by
+``Content-Length``, JSON responses, and close-delimited streaming
+responses (NDJSON status streams).  Connections are one-shot
+(``Connection: close``) — clients here are sweep drivers, not
+browsers, and one request per connection keeps the state machine
+trivial.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from dataclasses import dataclass, field
+from typing import Any, AsyncIterator, Dict, Optional, Tuple
+from urllib.parse import parse_qsl, unquote, urlsplit
+
+#: request hygiene limits — this is an internal service, but a stray
+#: client must not be able to balloon server memory
+MAX_REQUEST_LINE = 8 * 1024
+MAX_HEADER_BYTES = 64 * 1024
+MAX_BODY_BYTES = 4 * 1024 * 1024
+
+
+class BadRequest(ValueError):
+    """A malformed request; the server answers 400 and closes."""
+
+
+@dataclass
+class Request:
+    """One parsed HTTP request."""
+
+    method: str
+    path: str
+    query: Dict[str, str] = field(default_factory=dict)
+    headers: Dict[str, str] = field(default_factory=dict)
+    body: bytes = b""
+
+    def json(self) -> Any:
+        try:
+            return json.loads(self.body.decode("utf-8"))
+        except (UnicodeDecodeError, ValueError):
+            raise BadRequest("request body is not valid JSON") from None
+
+
+@dataclass
+class Response:
+    """A buffered response; ``content`` is already encoded."""
+
+    status: int
+    content: bytes
+    content_type: str = "application/json"
+
+
+@dataclass
+class StreamResponse:
+    """A close-delimited streaming response (no Content-Length)."""
+
+    chunks: AsyncIterator[bytes]
+    status: int = 200
+    content_type: str = "application/x-ndjson"
+
+
+STATUS_REASONS = {
+    200: "OK", 201: "Created", 202: "Accepted", 204: "No Content",
+    400: "Bad Request", 404: "Not Found", 405: "Method Not Allowed",
+    409: "Conflict", 500: "Internal Server Error",
+}
+
+
+def json_response(status: int, payload: Any) -> Response:
+    return Response(status, (json.dumps(payload) + "\n").encode())
+
+
+def error_response(status: int, message: str) -> Response:
+    return json_response(status, {"error": message, "status": status})
+
+
+async def read_request(reader: asyncio.StreamReader
+                       ) -> Optional[Request]:
+    """Parse one request; ``None`` when the peer closed without one."""
+    try:
+        request_line = await reader.readline()
+    except (ConnectionError, asyncio.LimitOverrunError):
+        return None
+    if not request_line:
+        return None
+    if len(request_line) > MAX_REQUEST_LINE:
+        raise BadRequest("request line too long")
+    parts = request_line.decode("latin-1").split()
+    if len(parts) != 3 or not parts[2].startswith("HTTP/1"):
+        raise BadRequest("malformed request line")
+    method, target = parts[0].upper(), parts[1]
+    split = urlsplit(target)
+    path = unquote(split.path)
+    query = dict(parse_qsl(split.query))
+
+    headers: Dict[str, str] = {}
+    header_bytes = 0
+    while True:
+        line = await reader.readline()
+        header_bytes += len(line)
+        if header_bytes > MAX_HEADER_BYTES:
+            raise BadRequest("headers too large")
+        if line in (b"\r\n", b"\n", b""):
+            break
+        name, sep, value = line.decode("latin-1").partition(":")
+        if not sep:
+            raise BadRequest("malformed header line")
+        headers[name.strip().lower()] = value.strip()
+
+    body = b""
+    length_header = headers.get("content-length")
+    if length_header is not None:
+        try:
+            length = int(length_header)
+        except ValueError:
+            raise BadRequest("malformed Content-Length") from None
+        if length < 0 or length > MAX_BODY_BYTES:
+            raise BadRequest("body too large")
+        body = await reader.readexactly(length)
+    return Request(method=method, path=path, query=query,
+                   headers=headers, body=body)
+
+
+def _head(status: int, content_type: str,
+          content_length: Optional[int]) -> bytes:
+    reason = STATUS_REASONS.get(status, "Unknown")
+    lines = [f"HTTP/1.1 {status} {reason}",
+             f"Content-Type: {content_type}",
+             "Connection: close"]
+    if content_length is not None:
+        lines.append(f"Content-Length: {content_length}")
+    return ("\r\n".join(lines) + "\r\n\r\n").encode("latin-1")
+
+
+async def write_response(writer: asyncio.StreamWriter,
+                         response: Response) -> None:
+    writer.write(_head(response.status, response.content_type,
+                       len(response.content)))
+    writer.write(response.content)
+    await writer.drain()
+
+
+async def write_stream(writer: asyncio.StreamWriter,
+                       response: StreamResponse) -> None:
+    """Write a streaming response; the body ends when we close."""
+    writer.write(_head(response.status, response.content_type, None))
+    await writer.drain()
+    async for chunk in response.chunks:
+        writer.write(chunk)
+        await writer.drain()
+
+
+def split_path(path: str) -> Tuple[str, ...]:
+    """``/jobs/abc/result`` → ``("jobs", "abc", "result")``."""
+    return tuple(segment for segment in path.split("/") if segment)

@@ -1,0 +1,270 @@
+"""Dedupe-aware asyncio scheduler over a worker pool.
+
+The scheduler owns the job table (fingerprint → :class:`Job`).  Because
+the job id *is* the run fingerprint, dedupe is a dictionary lookup:
+
+* an identical submission while the first is queued/running joins the
+  existing job (one simulation, N watchers — ``inflight_dedup_hits``);
+* an identical submission after completion returns the finished job
+  immediately (``completed_dedup_hits``);
+* a failed or cancelled job is retried by resubmission.
+
+Worker-slot concurrency is bounded by the same
+:func:`~repro.harness.parallel.resolve_jobs` policy as the batch
+harness (``REPRO_JOBS`` / cpu count).  Simulations run in a
+``ProcessPoolExecutor`` off the event loop; where process pools are
+unavailable (sandboxes that forbid forking) the scheduler degrades to
+a thread pool — simulations are pure Python so this serializes on the
+GIL, but every request still completes.  Each job supports a wall-time
+timeout and explicit cancellation.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from concurrent.futures import BrokenExecutor, ThreadPoolExecutor
+from typing import Any, Dict, Optional
+
+from repro.core.config import SystemConfig
+from repro.core.metrics import RunResult
+from repro.harness.parallel import RunPoint, resolve_jobs
+from repro.harness.resultcache import ResultCache, run_fingerprint
+from repro.harness.runner import run_benchmark
+from repro.serve.jobs import Job, JobState, parse_job_payload
+
+#: environment override for the per-job wall-clock timeout (seconds)
+TIMEOUT_ENV = "REPRO_SERVE_TIMEOUT"
+
+
+def execute_point(point: RunPoint) -> RunResult:
+    """Run one point in a worker (module-level so pools can pickle it)."""
+    return run_benchmark(point.code, point.input_size, point.mode,
+                         point.config, telemetry=point.telemetry)
+
+
+class JobScheduler:
+    """Job table + in-flight dedupe + bounded pool execution."""
+
+    def __init__(self, cache: Optional[ResultCache] = None,
+                 jobs: Optional[int] = None,
+                 timeout_s: Optional[float] = None,
+                 use_processes: Optional[bool] = None) -> None:
+        self.cache = cache
+        self.max_workers = resolve_jobs(jobs)
+        self.timeout_s = timeout_s
+        self.jobs: Dict[str, Job] = {}
+        self.started = time.time()
+        self.inflight_dedup_hits = 0
+        self.completed_dedup_hits = 0
+        self.simulations_run = 0
+        self._use_processes = use_processes
+        self._executor = None
+        self._executor_kind: Optional[str] = None
+        self._semaphore = asyncio.Semaphore(self.max_workers)
+        self._tasks: Dict[str, asyncio.Task] = {}
+        self._settlers: list = []
+
+    # -- submission ----------------------------------------------------
+
+    def fingerprint_of(self, point: RunPoint) -> str:
+        config = point.config or SystemConfig(track_values=False)
+        return run_fingerprint(point.code, point.input_size, point.mode,
+                               config, telemetry=point.telemetry)
+
+    def submit_payload(self, payload: Any) -> Job:
+        """Validate and submit one job payload (see :meth:`submit`)."""
+        return self.submit(parse_job_payload(payload))
+
+    def submit(self, point: RunPoint) -> Job:
+        """Admit one point; returns the (possibly pre-existing) job."""
+        fingerprint = self.fingerprint_of(point)
+        existing = self.jobs.get(fingerprint)
+        if existing is not None:
+            existing.submissions += 1
+            if not existing.state.terminal:
+                self.inflight_dedup_hits += 1
+                return existing
+            if existing.state is JobState.DONE:
+                self.completed_dedup_hits += 1
+                return existing
+            # failed / cancelled: resubmission retries with a fresh job
+        job = Job(fingerprint, point)
+        if existing is not None:
+            job.submissions += existing.submissions
+        self.jobs[fingerprint] = job
+        task = asyncio.get_running_loop().create_task(self._run_job(job))
+        task.add_done_callback(
+            lambda done, job=job: self._settle(job, done))
+        self._tasks[fingerprint] = task
+        return job
+
+    def get(self, job_id: str) -> Optional[Job]:
+        return self.jobs.get(job_id)
+
+    def cancel(self, job_id: str) -> bool:
+        """Cancel a queued/running job; True when a cancel was issued."""
+        job = self.jobs.get(job_id)
+        task = self._tasks.get(job_id)
+        if job is None or task is None or job.state.terminal:
+            return False
+        return task.cancel()
+
+    # -- execution -----------------------------------------------------
+
+    def _get_executor(self):
+        if self._executor_kind is None:
+            use_processes = self._use_processes
+            if use_processes is None or use_processes:
+                try:
+                    from concurrent.futures import ProcessPoolExecutor
+                    self._executor = ProcessPoolExecutor(
+                        max_workers=self.max_workers)
+                    self._executor_kind = "process"
+                    return self._executor
+                except (ImportError, NotImplementedError, OSError,
+                        PermissionError):
+                    if use_processes:
+                        raise
+            self._executor = ThreadPoolExecutor(
+                max_workers=self.max_workers)
+            self._executor_kind = "thread"
+        return self._executor
+
+    def _degrade_to_threads(self) -> None:
+        old = self._executor
+        self._executor = ThreadPoolExecutor(max_workers=self.max_workers)
+        self._executor_kind = "thread"
+        if old is not None:
+            old.shutdown(wait=False)
+
+    async def _execute(self, point: RunPoint) -> RunResult:
+        loop = asyncio.get_running_loop()
+        try:
+            return await loop.run_in_executor(self._get_executor(),
+                                              execute_point, point)
+        except BrokenExecutor:
+            # the pool died under us (fork refused at first use, a
+            # worker killed); degrade to threads and retry once
+            self._degrade_to_threads()
+            return await loop.run_in_executor(self._executor,
+                                              execute_point, point)
+
+    async def _run_job(self, job: Job) -> None:
+        try:
+            async with self._semaphore:
+                cached = self._cache_get(job.point)
+                if cached is not None:
+                    job.result = cached
+                    job.cached = True
+                    await job.advance(JobState.DONE)
+                    return
+                await job.advance(JobState.RUNNING)
+                self.simulations_run += 1
+                try:
+                    execution = self._execute(job.point)
+                    if self.timeout_s:
+                        result = await asyncio.wait_for(execution,
+                                                        self.timeout_s)
+                    else:
+                        result = await execution
+                except asyncio.TimeoutError:
+                    await job.advance(
+                        JobState.FAILED,
+                        error=f"timed out after {self.timeout_s}s")
+                    return
+                except Exception as exc:
+                    await job.advance(JobState.FAILED, error=repr(exc))
+                    return
+                job.result = result
+                self._cache_put(job.point, result)
+                await job.advance(JobState.DONE)
+        except asyncio.CancelledError:
+            if not job.state.terminal:
+                await asyncio.shield(job.advance(JobState.CANCELLED))
+            raise
+
+    def _settle(self, job: Job, task: asyncio.Task) -> None:
+        """Backstop for a task that died without settling its job.
+
+        Normal paths settle inside :meth:`_run_job`; this catches a
+        task cancelled before its first step ever ran (the coroutine
+        body never executes, so its cleanup never does either) and any
+        unexpected escape.
+        """
+        if job.state.terminal:
+            return
+        if task.cancelled():
+            state, error = JobState.CANCELLED, None
+        else:
+            exc = task.exception()
+            state = JobState.FAILED
+            error = repr(exc) if exc else "job task exited unexpectedly"
+        settle = asyncio.get_running_loop().create_task(
+            job.advance(state, error=error))
+        self._settlers.append(settle)
+
+    def _cache_get(self, point: RunPoint) -> Optional[RunResult]:
+        if self.cache is None:
+            return None
+        config = point.config or SystemConfig(track_values=False)
+        return self.cache.get(point.code, point.input_size, point.mode,
+                              config, telemetry=point.telemetry)
+
+    def _cache_put(self, point: RunPoint, result: RunResult) -> None:
+        if self.cache is None:
+            return
+        config = point.config or SystemConfig(track_values=False)
+        self.cache.put(point.code, point.input_size, point.mode, config,
+                       result, telemetry=point.telemetry)
+
+    # -- reporting / shutdown ------------------------------------------
+
+    def stats(self) -> Dict[str, Any]:
+        """The ``GET /stats`` document."""
+        states = {state.value: 0 for state in JobState}
+        for job in self.jobs.values():
+            states[job.state.value] += 1
+        cache: Dict[str, Any] = {"enabled": self.cache is not None}
+        if self.cache is not None:
+            cache.update(hits=self.cache.hits, misses=self.cache.misses,
+                         evictions=self.cache.evictions,
+                         byte_budget=self.cache.byte_budget,
+                         directory=str(self.cache.directory),
+                         **self.cache.scan().to_dict())
+        return {
+            "uptime_s": round(time.time() - self.started, 3),
+            "max_workers": self.max_workers,
+            "executor": self._executor_kind,
+            "timeout_s": self.timeout_s,
+            "jobs": {"total": len(self.jobs), **states},
+            "queue_depth": states[JobState.QUEUED.value],
+            "dedupe": {
+                "inflight_hits": self.inflight_dedup_hits,
+                "completed_hits": self.completed_dedup_hits,
+            },
+            "simulations_run": self.simulations_run,
+            "cache": cache,
+        }
+
+    async def shutdown(self) -> None:
+        """Cancel outstanding jobs and release the pool."""
+        for task in list(self._tasks.values()):
+            if not task.done():
+                task.cancel()
+        for task in list(self._tasks.values()):
+            try:
+                await task
+            except (asyncio.CancelledError, Exception):
+                pass
+        # let done-callbacks schedule their settle tasks, then drain them
+        await asyncio.sleep(0)
+        for settle in self._settlers:
+            try:
+                await settle
+            except (asyncio.CancelledError, Exception):
+                pass
+        if self._executor is not None:
+            self._executor.shutdown(wait=False, cancel_futures=True)
+            self._executor = None
+            self._executor_kind = None

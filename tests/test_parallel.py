@@ -103,6 +103,137 @@ class TestParallelRunner:
         assert len(seen) == 2
 
 
+class TestPoolDegradedPaths:
+    """The process pool failing must never lose or duplicate points."""
+
+    @pytest.fixture
+    def counted_execute(self, monkeypatch):
+        """Count executions per point through the real execute path."""
+        from repro.harness import parallel as parallel_module
+        counts = {}
+        real = parallel_module._execute_point
+
+        def counting(point):
+            key = (point.code, point.mode.value)
+            counts[key] = counts.get(key, 0) + 1
+            return real(point)
+
+        monkeypatch.setattr(parallel_module, "_execute_point", counting)
+        return counts
+
+    def test_pool_creation_failure_runs_each_point_once(
+            self, tiny_config, monkeypatch, counted_execute):
+        import concurrent.futures as futures
+
+        def _unavailable(*_args, **_kwargs):
+            raise PermissionError("no forking here")
+
+        monkeypatch.setattr(futures, "ProcessPoolExecutor", _unavailable)
+        points = _points(tiny_config)
+        results = ParallelRunner(jobs=4).run_points(points)
+        assert all(result is not None for result in results)
+        assert sorted(counted_execute.values()) == [1] * len(points)
+
+    def test_submit_breakage_redispatches_unfinished(
+            self, tiny_config, monkeypatch, counted_execute):
+        import concurrent.futures as futures
+        from concurrent.futures import Future
+
+        class BreaksOnSecondSubmit:
+            """First submit works (inline), then the pool 'dies'."""
+
+            def __init__(self, *args, **kwargs):
+                self.submitted = 0
+
+            def __enter__(self):
+                return self
+
+            def __exit__(self, *exc_info):
+                return False
+
+            def submit(self, fn, point):
+                self.submitted += 1
+                if self.submitted > 1:
+                    raise OSError("fork refused at submit time")
+                future = Future()
+                future.set_result(fn(point))
+                return future
+
+        monkeypatch.setattr(futures, "ProcessPoolExecutor",
+                            BreaksOnSecondSubmit)
+        points = _points(tiny_config)
+        results = ParallelRunner(jobs=4).run_points(points)
+        assert all(result is not None for result in results)
+        # every point ran exactly once: nothing lost, nothing re-run
+        assert sorted(counted_execute.values()) == [1] * len(points)
+        serial = ParallelRunner(jobs=1).run_points(points)
+        assert ([r.total_ticks for r in results]
+                == [r.total_ticks for r in serial])
+
+    def test_broken_pool_at_result_redispatches_only_unfinished(
+            self, tiny_config, monkeypatch, counted_execute):
+        import concurrent.futures as futures
+        from concurrent.futures import BrokenExecutor, Future
+
+        class DiesAfterFirstResult:
+            """Every submit accepted; only the first future succeeds."""
+
+            def __init__(self, *args, **kwargs):
+                self.submitted = 0
+
+            def __enter__(self):
+                return self
+
+            def __exit__(self, *exc_info):
+                return False
+
+            def submit(self, fn, point):
+                self.submitted += 1
+                future = Future()
+                if self.submitted == 1:
+                    future.set_result(fn(point))
+                else:
+                    future.set_exception(
+                        BrokenExecutor("a worker was killed"))
+                return future
+
+        monkeypatch.setattr(futures, "ProcessPoolExecutor",
+                            DiesAfterFirstResult)
+        points = _points(tiny_config)
+        results = ParallelRunner(jobs=4).run_points(points)
+        assert all(result is not None for result in results)
+        # the point that finished in the pool was not re-dispatched
+        assert sorted(counted_execute.values()) == [1] * len(points)
+
+    def test_worker_exception_still_surfaces_as_worker_error(
+            self, tiny_config, monkeypatch):
+        import concurrent.futures as futures
+        from concurrent.futures import Future
+
+        class FailsEveryFuture:
+            def __init__(self, *args, **kwargs):
+                pass
+
+            def __enter__(self):
+                return self
+
+            def __exit__(self, *exc_info):
+                return False
+
+            def submit(self, _fn, _point):
+                future = Future()
+                future.set_exception(ValueError("the point is bad"))
+                return future
+
+        monkeypatch.setattr(futures, "ProcessPoolExecutor",
+                            FailsEveryFuture)
+        points = _points(tiny_config)
+        with pytest.raises(WorkerError) as excinfo:
+            ParallelRunner(jobs=4).run_points(points)
+        # a genuine per-point failure is not mistaken for pool breakage
+        assert excinfo.value.point.code == points[0].code
+
+
 class TestCompareMany:
     def test_matches_compare_modes(self, tiny_config):
         config = tiny_config.with_overrides(track_values=False)

@@ -1,0 +1,379 @@
+"""Tests for the simulation service (payloads, scheduler, HTTP)."""
+
+import asyncio
+import json
+import time
+from concurrent.futures import ThreadPoolExecutor
+
+import pytest
+
+from repro.core.protocol_mode import CoherenceMode
+from repro.harness.resultcache import ResultCache
+from repro.harness.runner import run_benchmark
+from repro.serve import ServeClient, ServerThread, ServiceError
+from repro.serve.jobs import JobError, JobState, parse_job_payload
+from repro.serve.scheduler import JobScheduler
+
+#: the conftest ``tiny_config`` expressed as a service payload override
+TINY_CONFIG = {
+    "cpu": {"l1d_size": 8 * 1024, "l1i_size": 8 * 1024,
+            "l2_size": 64 * 1024, "store_buffer_entries": 16,
+            "max_outstanding_drains": 4, "num_mshrs": 8},
+    "gpu": {"num_sms": 4, "l1_size": 4 * 1024, "l2_size": 64 * 1024,
+            "l2_slices": 2, "mshrs_per_slice": 8},
+    "dram": {"size_bytes": 64 * 1024 * 1024},
+}
+
+
+class TestPayloadValidation:
+    def test_minimal_payload(self):
+        point = parse_job_payload({"code": "va"})
+        assert point.code == "VA"
+        assert point.input_size == "small"
+        assert point.mode is CoherenceMode.DIRECT_STORE
+        assert point.config.track_values is False
+        assert point.telemetry is None
+
+    def test_config_overrides_applied(self):
+        point = parse_job_payload({"code": "VA", "config": TINY_CONFIG})
+        assert point.config.gpu.num_sms == 4
+        assert point.config.cpu.l1d_size == 8 * 1024
+        assert point.config.dram.size_bytes == 64 * 1024 * 1024
+
+    def test_telemetry_sampling(self):
+        point = parse_job_payload(
+            {"code": "VA", "telemetry": {"sample_interval": 1000}})
+        assert point.telemetry.sample_interval == 1000
+        zero = parse_job_payload(
+            {"code": "VA", "telemetry": {"sample_interval": 0}})
+        assert zero.telemetry is None
+
+    @pytest.mark.parametrize("payload, fragment", [
+        ("not a dict", "JSON object"),
+        ({}, "'code' is required"),
+        ({"code": "ZZ"}, "unknown benchmark"),
+        ({"code": "VA", "oops": 1}, "unknown payload field"),
+        ({"code": "VA", "input_size": "huge"}, "input_size"),
+        ({"code": "VA", "mode": "magic"}, "'mode'"),
+        ({"code": "VA", "config": {"typo_field": 1}},
+         "unknown config field"),
+        ({"code": "VA", "config": {"gpu": {"typo": 1}}},
+         "unknown config field gpu"),
+        ({"code": "VA", "config": {"gpu": 7}}, "takes an object"),
+        ({"code": "VA", "telemetry": {"trace": True}}, "tracing"),
+        ({"code": "VA", "telemetry": {"sample_interval": -1}},
+         "non-negative"),
+        ({"code": "VA", "telemetry": {"weird": 1}},
+         "unknown telemetry field"),
+    ])
+    def test_rejects_bad_payloads(self, payload, fragment):
+        with pytest.raises(JobError, match=fragment):
+            parse_job_payload(payload)
+
+    def test_identical_payloads_share_fingerprint(self):
+        async def main():
+            scheduler = JobScheduler(jobs=1)
+            a = scheduler.fingerprint_of(
+                parse_job_payload({"code": "VA", "config": TINY_CONFIG}))
+            b = scheduler.fingerprint_of(
+                parse_job_payload({"code": "VA", "config": TINY_CONFIG}))
+            c = scheduler.fingerprint_of(
+                parse_job_payload({"code": "VA"}))
+            assert a == b
+            assert a != c
+        asyncio.run(main())
+
+
+def _fake_executor(monkeypatch, delay_s=0.0, error=None):
+    """Replace the pool-side entry point with a counting stand-in."""
+    import repro.serve.scheduler as scheduler_module
+    calls = []
+
+    def fake_execute(point):
+        calls.append((point.code, point.mode.value))
+        if delay_s:
+            time.sleep(delay_s)
+        if error is not None:
+            raise error
+        return run_benchmark("VA", "small", CoherenceMode.DIRECT_STORE,
+                             point.config)
+
+    monkeypatch.setattr(scheduler_module, "execute_point", fake_execute)
+    return calls
+
+
+class TestScheduler:
+    """Event-loop-level tests; threads stand in for the process pool."""
+
+    def test_inflight_dedupe_single_execution(self, monkeypatch):
+        calls = _fake_executor(monkeypatch, delay_s=0.2)
+
+        async def main():
+            scheduler = JobScheduler(jobs=2, use_processes=False)
+            payload = {"code": "VA", "config": TINY_CONFIG}
+            first = scheduler.submit_payload(payload)
+            await asyncio.sleep(0.05)  # let it reach RUNNING
+            second = scheduler.submit_payload(payload)
+            assert second is first
+            assert scheduler.inflight_dedup_hits == 1
+            await first.wait_terminal()
+            assert first.state is JobState.DONE
+            assert first.submissions == 2
+            await scheduler.shutdown()
+
+        asyncio.run(main())
+        assert len(calls) == 1
+
+    def test_completed_dedupe_returns_finished_job(self, monkeypatch):
+        calls = _fake_executor(monkeypatch)
+
+        async def main():
+            scheduler = JobScheduler(jobs=1, use_processes=False)
+            payload = {"code": "VA", "config": TINY_CONFIG}
+            job = scheduler.submit_payload(payload)
+            await job.wait_terminal()
+            again = scheduler.submit_payload(payload)
+            assert again is job
+            assert scheduler.completed_dedup_hits == 1
+            await scheduler.shutdown()
+
+        asyncio.run(main())
+        assert len(calls) == 1
+
+    def test_failure_reported_and_retried_on_resubmit(self, monkeypatch):
+        calls = _fake_executor(monkeypatch, error=RuntimeError("boom"))
+
+        async def main():
+            scheduler = JobScheduler(jobs=1, use_processes=False)
+            payload = {"code": "VA", "config": TINY_CONFIG}
+            job = scheduler.submit_payload(payload)
+            await job.wait_terminal()
+            assert job.state is JobState.FAILED
+            assert "boom" in job.error
+            retry = scheduler.submit_payload(payload)
+            assert retry is not job
+            await retry.wait_terminal()
+            assert retry.state is JobState.FAILED
+            await scheduler.shutdown()
+
+        asyncio.run(main())
+        assert len(calls) == 2  # the resubmission really re-ran
+
+    def test_timeout_fails_job(self, monkeypatch):
+        _fake_executor(monkeypatch, delay_s=5.0)
+
+        async def main():
+            scheduler = JobScheduler(jobs=1, use_processes=False,
+                                     timeout_s=0.05)
+            job = scheduler.submit_payload(
+                {"code": "VA", "config": TINY_CONFIG})
+            await job.wait_terminal()
+            assert job.state is JobState.FAILED
+            assert "timed out" in job.error
+            await scheduler.shutdown()
+
+        asyncio.run(main())
+
+    def test_cancel_queued_job(self, monkeypatch):
+        _fake_executor(monkeypatch, delay_s=1.0)
+
+        async def main():
+            scheduler = JobScheduler(jobs=1, use_processes=False)
+            blocker = scheduler.submit_payload(
+                {"code": "VA", "config": TINY_CONFIG})
+            queued = scheduler.submit_payload({"code": "PT"})
+            assert queued.state is JobState.QUEUED
+            assert scheduler.cancel(queued.fingerprint)
+            await queued.wait_terminal()
+            assert queued.state is JobState.CANCELLED
+            scheduler.cancel(blocker.fingerprint)
+            await blocker.wait_terminal()
+            await scheduler.shutdown()
+
+        asyncio.run(main())
+
+    def test_stats_shape(self, monkeypatch, tmp_path):
+        _fake_executor(monkeypatch)
+
+        async def main():
+            scheduler = JobScheduler(cache=ResultCache(tmp_path), jobs=1,
+                                     use_processes=False)
+            job = scheduler.submit_payload(
+                {"code": "VA", "config": TINY_CONFIG})
+            await job.wait_terminal()
+            stats = scheduler.stats()
+            assert stats["jobs"]["total"] == 1
+            assert stats["jobs"]["done"] == 1
+            assert stats["simulations_run"] == 1
+            assert stats["queue_depth"] == 0
+            assert stats["cache"]["enabled"] is True
+            assert stats["cache"]["entries"] == 1
+            assert stats["cache"]["total_bytes"] > 0
+            assert stats["max_workers"] == 1
+            await scheduler.shutdown()
+
+        asyncio.run(main())
+
+
+@pytest.fixture(scope="module")
+def live_server(tmp_path_factory):
+    """One real server (process pool, persistent cache) for the module."""
+    cache_dir = tmp_path_factory.mktemp("serve_cache")
+    with ServerThread(cache=ResultCache(cache_dir), jobs=2) as server:
+        yield server
+
+
+@pytest.fixture(scope="module")
+def live_client(live_server):
+    return ServeClient("127.0.0.1", live_server.port)
+
+
+class TestServiceIntegration:
+    """The acceptance path: concurrent dedupe over real simulations."""
+
+    def test_concurrent_identical_submissions_run_once(self, live_client):
+        submissions = 6
+
+        def submit(_):
+            return live_client.submit("VA", "small", "direct_store",
+                                      config=TINY_CONFIG)
+
+        with ThreadPoolExecutor(submissions) as pool:
+            jobs = list(pool.map(submit, range(submissions)))
+        job_ids = {job["job_id"] for job in jobs}
+        assert len(job_ids) == 1  # all coalesced onto one fingerprint
+        job_id = job_ids.pop()
+
+        final = live_client.wait(job_id)
+        assert final["state"] == "done"
+        assert final["submissions"] == submissions
+
+        documents = [live_client.result(job_id)
+                     for _ in range(submissions)]
+        first = documents[0]["result"]
+        assert all(doc["result"] == first for doc in documents)
+
+        # bit-identical to an in-process run of the same point
+        point = parse_job_payload({"code": "VA",
+                                   "config": TINY_CONFIG})
+        local = run_benchmark("VA", "small", CoherenceMode.DIRECT_STORE,
+                              point.config)
+        assert first == local.to_dict()
+
+        stats = live_client.stats()
+        assert stats["simulations_run"] == 1
+        assert (stats["dedupe"]["inflight_hits"]
+                + stats["dedupe"]["completed_hits"]) == submissions - 1
+
+    def test_status_history_and_manifest(self, live_client):
+        job = live_client.submit("VA", config=TINY_CONFIG)
+        status = live_client.wait(job["job_id"])
+        states = [entry["state"] for entry in status["history"]]
+        assert states[0] == "queued"
+        assert states[-1] == "done"
+        assert status["manifest"]["python_version"]
+        assert "config_fingerprint" in status["manifest"]
+
+    def test_watch_streams_transitions(self, live_client):
+        job = live_client.submit("VA", config=TINY_CONFIG)
+        transitions = [t["state"]
+                       for t in live_client.watch(job["job_id"])]
+        assert transitions[-1] == "done"
+
+    def test_resubmit_after_done_is_immediate(self, live_client):
+        live_client.submit_and_wait("VA", config=TINY_CONFIG)
+        job = live_client.submit("VA", config=TINY_CONFIG)
+        assert job["state"] == "done"
+
+    def test_cache_hit_across_server_restart(self, live_client,
+                                             live_server):
+        result = live_client.submit_and_wait("VA", config=TINY_CONFIG)
+        cache_dir = live_server.server.scheduler.cache.directory
+        with ServerThread(cache=ResultCache(cache_dir), jobs=1) as fresh:
+            client = ServeClient("127.0.0.1", fresh.port)
+            warm = client.submit_and_wait("VA", config=TINY_CONFIG)
+            assert warm.to_dict() == result.to_dict()
+            stats = client.stats()
+            assert stats["simulations_run"] == 0  # pure cache hit
+            assert stats["cache"]["hits"] >= 1
+
+    def test_http_errors(self, live_client):
+        with pytest.raises(ServiceError) as bad_payload:
+            live_client.submit("ZZ")
+        assert bad_payload.value.status == 400
+        with pytest.raises(ServiceError) as unknown:
+            live_client.status("deadbeef")
+        assert unknown.value.status == 404
+        with pytest.raises(ServiceError) as unknown_result:
+            live_client.result("deadbeef")
+        assert unknown_result.value.status == 404
+
+    def test_healthz_and_stats_document(self, live_client):
+        assert live_client.healthz() is True
+        stats = live_client.stats()
+        for key in ("uptime_s", "max_workers", "executor", "jobs",
+                    "queue_depth", "dedupe", "simulations_run", "cache"):
+            assert key in stats
+        assert stats["cache"]["directory"]
+        assert stats["cache"]["shard_dirs"] >= 1
+
+    def test_result_before_done_conflicts(self, monkeypatch):
+        calls = _fake_executor(monkeypatch, delay_s=0.5)
+        with ServerThread(jobs=1, use_processes=False) as server:
+            client = ServeClient("127.0.0.1", server.port)
+            job = client.submit("VA", config=TINY_CONFIG)
+            with pytest.raises(ServiceError) as not_ready:
+                client.result(job["job_id"])
+            assert not_ready.value.status == 409
+            client.wait(job["job_id"])
+            assert client.result(job["job_id"])["state"] == "done"
+        assert len(calls) == 1
+
+    def test_cancel_endpoint(self, monkeypatch):
+        _fake_executor(monkeypatch, delay_s=2.0)
+        with ServerThread(jobs=1, use_processes=False) as server:
+            client = ServeClient("127.0.0.1", server.port)
+            blocker = client.submit("VA", config=TINY_CONFIG)
+            queued = client.submit("PT", config=TINY_CONFIG)
+            answer = client.cancel(queued["job_id"])
+            assert answer["cancelled"] is True
+            final = client.wait(queued["job_id"])
+            assert final["state"] == "cancelled"
+            with pytest.raises(ServiceError) as gone:
+                client.result(queued["job_id"])
+            assert gone.value.status == 409
+            client.cancel(blocker["job_id"])
+
+
+class TestCliIntegration:
+    def test_submit_command_round_trip(self, live_server, capsys):
+        from repro.cli import main
+        url = f"http://127.0.0.1:{live_server.port}"
+        assert main(["submit", "PT", "--url", url]) == 0
+        out = capsys.readouterr().out
+        assert "PT/small" in out and "ticks" in out
+
+    def test_submit_no_wait_prints_job_id(self, live_server, capsys):
+        from repro.cli import main
+        url = f"http://127.0.0.1:{live_server.port}"
+        assert main(["submit", "PT", "--no-wait", "--url", url]) == 0
+        job_id = capsys.readouterr().out.strip()
+        assert len(job_id) == 64  # a sha256 fingerprint
+        client = ServeClient("127.0.0.1", live_server.port)
+        client.wait(job_id)
+
+    def test_submit_unreachable_server(self, capsys):
+        from repro.cli import main
+        assert main(["submit", "VA",
+                     "--url", "http://127.0.0.1:9"]) == 1
+        assert "repro submit" in capsys.readouterr().err
+
+    def test_submit_rejected_payload(self, live_server, capsys):
+        from repro.cli import main
+        url = f"http://127.0.0.1:{live_server.port}"
+        assert main(["submit", "VA", "--input-size", "small",
+                     "--mode", "direct_store", "--url", url]) == 0
+        capsys.readouterr()
+        # unknown code is rejected server-side with a clean error
+        assert main(["submit", "ZZ", "--url", url]) == 1
+        assert "unknown benchmark" in capsys.readouterr().err

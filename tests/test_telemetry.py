@@ -314,8 +314,8 @@ class TestRoundTrip:
         assert restored == result
         assert restored.timeseries == result.timeseries
         assert restored.phases == result.phases
-        # the entry carries provenance
-        entry = json.loads(next(tmp_path.glob("*.json")).read_text())
+        # the entry carries provenance (entries shard by fp prefix)
+        entry = json.loads(next(tmp_path.glob("**/*.json")).read_text())
         assert "git_sha" in entry["manifest"]
 
     def test_sampled_and_plain_never_collide(self, sampled, tmp_path):

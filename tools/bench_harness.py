@@ -33,6 +33,9 @@ Usage::
                            section (default: KM FW)
     --engine-repeats N     timing repeats per engine mode (default 3)
     --skip-engine          omit the engine_core section
+    --service-code CODE    benchmark submitted through the job server
+                           for the service section (default: VA)
+    --skip-service         omit the service section
 
 The serial phase also records per-benchmark end-to-end seconds
 (``per_benchmark_s``) so a regression is attributable to a specific
@@ -176,6 +179,57 @@ def bench_engine_core(codes, input_size, repeats):
     return section
 
 
+def bench_service(code, input_size):
+    """Cold vs warm submit→result latency through the full service stack.
+
+    Spins up a real :class:`ServerThread` on an ephemeral port with a
+    fresh cache, then measures three submit→result round trips with the
+    blocking client: **cold** (the simulation actually runs), **warm**
+    (same server, the completed job is deduped — no simulation), and
+    **restart-warm** (a new server process-state over the same cache
+    dir, served from disk).  All three must return identical ticks.
+    """
+    import tempfile
+    from repro.serve.client import ServeClient
+    from repro.serve.server import ServerThread
+
+    cache_dir = Path(tempfile.mkdtemp(prefix="repro_bench_service_"))
+    section = {"code": code, "input_size": input_size}
+    ticks = {}
+
+    def round_trip(client, label):
+        start = time.perf_counter()
+        result = client.submit_and_wait(code, input_size, "ccsm")
+        section[f"{label}_submit_to_result_s"] = round(
+            time.perf_counter() - start, 3)
+        ticks[label] = result.total_ticks
+
+    with ServerThread(cache=ResultCache(cache_dir), jobs=2) as server:
+        client = ServeClient(port=server.port)
+        round_trip(client, "cold")
+        round_trip(client, "warm")
+        stats = client.stats()
+        section["simulations_run"] = stats["simulations_run"]
+        section["completed_dedup_hits"] = (
+            stats["dedupe"]["completed_hits"])
+    with ServerThread(cache=ResultCache(cache_dir), jobs=2) as server:
+        round_trip(ServeClient(port=server.port), "restart_warm")
+
+    section["speedup_warm_vs_cold"] = round(
+        section["cold_submit_to_result_s"]
+        / max(section["warm_submit_to_result_s"], 1e-6), 2)
+    section["total_ticks"] = ticks["cold"]
+    section["ticks_identical"] = len(set(ticks.values())) == 1
+    print(f"{'service':14s} cold "
+          f"{section['cold_submit_to_result_s']}s, warm "
+          f"{section['warm_submit_to_result_s']}s, restart-warm "
+          f"{section['restart_warm_submit_to_result_s']}s "
+          f"({section['simulations_run']} simulation(s), ticks "
+          f"{'equal' if section['ticks_identical'] else 'DIFFER'})",
+          file=sys.stderr)
+    return section
+
+
 def run_serial_phase(points):
     """Serial baseline with per-point timing (one process, no cache)."""
     results = []
@@ -234,6 +288,8 @@ def main(argv=None):
     parser.add_argument("--engine-codes", nargs="*", default=["KM", "FW"])
     parser.add_argument("--engine-repeats", type=int, default=3)
     parser.add_argument("--skip-engine", action="store_true")
+    parser.add_argument("--service-code", default="VA")
+    parser.add_argument("--skip-service", action="store_true")
     args = parser.parse_args(argv)
 
     codes = args.codes or benchmark_codes()
@@ -311,6 +367,11 @@ def main(argv=None):
         record["engine_core"] = bench_engine_core(
             args.engine_codes, args.input_size, args.engine_repeats)
         identical = identical and record["engine_core"]["ticks_identical"]
+
+    if not args.skip_service:
+        record["service"] = bench_service(args.service_code,
+                                          args.input_size)
+        identical = identical and record["service"]["ticks_identical"]
 
     output_path.write_text(json.dumps(record, indent=2) + "\n")
     print(f"wrote {args.output}", file=sys.stderr)
