@@ -60,7 +60,7 @@ from repro.utils.statistics import StatsRegistry
 MEMCTRL = "memctrl"
 
 
-@dataclass
+@dataclass(slots=True)
 class AccessResult:
     """Outcome of one coherent access."""
 
@@ -326,13 +326,16 @@ class HammerSystem:
         multi-word burst travels as a full data message rather than the
         16-byte single-word forward.
         """
-        if self.ds_network is None:
+        ds_network = self.ds_network
+        if ds_network is None:
             raise RuntimeError("direct-store network is not attached")
         src = self.agents[src_name]
         dst = self.agents[slice_name]
-        line_address = src.cache.layout.line_address(address)
+        line_address = address & ~(self.line_size - 1)
         self._remote_stores.value += 1
-        words = [(address, value)] + list(extra_words or [])
+        words = [(address, value)]
+        if extra_words:
+            words.extend(extra_words)
 
         # --- CPU side: Fig. 3 bold transitions -------------------------
         if src.on_probe is not None:
@@ -364,11 +367,16 @@ class HammerSystem:
         # --- the dedicated network hop ---------------------------------
         msg_class = (MessageClass.STORE_FORWARD if len(words) == 1
                      else MessageClass.DATA)
-        arrival = self.ds_network.send(
-            NetworkMessage(src_name, slice_name, msg_class,
-                           line_address, payload=CoherenceMsgType.DS_PUTX,
-                           created_tick=now),
-            now)
+        forward_raw = getattr(ds_network, "forward_raw", None)
+        if forward_raw is not None:
+            arrival = forward_raw(slice_name, msg_class, line_address, now)
+        else:
+            arrival = ds_network.send(
+                NetworkMessage(src_name, slice_name, msg_class,
+                               line_address,
+                               payload=CoherenceMsgType.DS_PUTX,
+                               created_tick=now),
+                now)
 
         # --- GPU L2 side: I -> MM install / MM merge --------------------
         t_done = arrival + dst.tag_ticks
@@ -383,10 +391,19 @@ class HammerSystem:
             assert action in (Action.MERGE_STORE, Action.INSTALL_MM)
             old_state = existing.state
             existing.state = HammerState.MM
-            for word_address, word_value in words:
-                self._write_word(existing, word_address, word_value)
-            self._trace(slice_name, line_address, "RemoteStoreArrive",
-                        old_state, HammerState.MM, t_done)
+            image = self.image
+            if image is not None:
+                data = existing.data
+                for word_address, word_value in words:
+                    if word_value is not None:
+                        if data is None:
+                            data = existing.data = {}
+                        data[image.word_offset_in_line(word_address)] = \
+                            word_value
+            existing.dirty = True
+            if TRACER.enabled or self.tracer is not None:
+                self._trace(slice_name, line_address, "RemoteStoreArrive",
+                            old_state, HammerState.MM, t_done)
             return AccessResult(t_done, value, True, "local")
         if HammerState.I not in REMOTE_STORE_ARRIVE_TRANSITIONS:
             raise ProtocolViolationError(

@@ -18,10 +18,12 @@ racing.
 from __future__ import annotations
 
 from collections import deque
+from functools import partial
 from typing import Callable, Optional
 
 from repro.coherence.hammer import AccessResult, HammerSystem
 from repro.engine.event import EventQueue
+from repro.engine.modes import batch_kernel_enabled
 from repro.mem.mshr import MSHRFile
 from repro.utils.profiler import PROFILER
 
@@ -50,6 +52,18 @@ class CoherentPort:
         #: when entries retire (no polling — a full file would otherwise
         #: cause a retry storm under heavy fan-in)
         self._waiting: "deque" = deque()
+        # The batched kernel shadows load/store/load_batch with its
+        # fused entry points; _request stays the reference path (and the
+        # kernel's fallback for traced runs, parked-request drains, and
+        # merge replays).
+        self._kernel = None
+        if batch_kernel_enabled():
+            from repro.coherence.batch_kernel import PortBatchKernel
+            kernel = PortBatchKernel(self)
+            self._kernel = kernel
+            self.load = kernel.load  # type: ignore[method-assign]
+            self.store = kernel.store  # type: ignore[method-assign]
+            self.load_batch = kernel.load_batch  # type: ignore[method-assign]
 
     def _line(self, address: int) -> int:
         return address & self._line_mask
@@ -57,6 +71,15 @@ class CoherentPort:
     def load(self, address: int, callback: Callback) -> None:
         """Issue a coherent load; *callback* fires at completion."""
         self._request(address, None, callback, is_store=False)
+
+    def load_batch(self, requests) -> None:
+        """Issue the loads of one coalesced access (one per line).
+
+        The reference implementation is a plain loop; the batched kernel
+        replaces it with a staged MSHR-mask + fused-walk version.
+        """
+        for address, callback in requests:
+            self._request(address, None, callback, is_store=False)
 
     def store(self, address: int, value: Optional[int],
               callback: Callback,
@@ -76,7 +99,15 @@ class CoherentPort:
         line_address = self._line(address)
         now = self.queue.current_tick
 
-        if self._mshr_get(line_address) is not None:
+        prof = PROFILER
+        profiling = prof.enabled
+        if profiling:
+            prof.start("mshr")
+        in_flight = self._mshr_get(line_address)
+        full = in_flight is None and self.mshrs.is_full
+        if profiling:
+            prof.stop()
+        if in_flight is not None:
             # merge: replay the whole request once the line settles —
             # by then it is (usually) resident and completes locally.
             self._accept(on_accept)
@@ -84,15 +115,13 @@ class CoherentPort:
                 line_address,
                 lambda: self._request(address, value, callback, is_store))
             return
-        if self.mshrs.is_full:
+        if full:
             # structural stall: park until an entry retires
             self._waiting.append(
                 (address, value, callback, is_store, on_accept))
             return
         self._accept(on_accept)
 
-        prof = PROFILER
-        profiling = prof.enabled
         if profiling:
             prof.start("protocol")
         if is_store:
@@ -104,7 +133,7 @@ class CoherentPort:
 
         if result.hit:
             # no fill in flight; deliver at the access's ready tick
-            self.queue.post_at(result.ready_tick, lambda: callback(result))
+            self.queue.post_at(result.ready_tick, partial(callback, result))
             return
 
         entry = self.mshrs.allocate(line_address, now, is_write=is_store)

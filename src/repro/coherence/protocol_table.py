@@ -218,3 +218,42 @@ REMOTE_STORE_LOCAL_TRANSITIONS = _BY_EVENT[
     ProtocolEvent.REMOTE_STORE_LOCAL]
 REMOTE_STORE_ARRIVE_TRANSITIONS = _BY_EVENT[
     ProtocolEvent.REMOTE_STORE_ARRIVE]
+
+
+# ----------------------------------------------------------------------
+# per-event dense rows (the batched-kernel form)
+# ----------------------------------------------------------------------
+#
+# The batched coherence kernel (:mod:`repro.coherence.batch_kernel`)
+# classifies messages by integer state index, so each event gets a
+# state-indexed row of next-state / action indices (``-1`` = illegal).
+# Like the flat tables above these are *derived* from ``PROTOCOL_TABLE``
+# at import time and carry no information of their own.
+
+def _event_rows(event: ProtocolEvent) -> "Tuple[List[int], List[int]]":
+    next_row = [-1] * N_STATES
+    action_row = [-1] * N_STATES
+    for _state, (_next, _action) in _BY_EVENT[event].items():
+        next_row[STATE_INDEX[_state]] = STATE_INDEX[_next]
+        action_row[STATE_INDEX[_state]] = ACTION_INDEX[_action]
+    return next_row, action_row
+
+
+LOAD_NEXT_ROW, LOAD_ACTION_ROW = _event_rows(ProtocolEvent.LOAD)
+STORE_NEXT_ROW, STORE_ACTION_ROW = _event_rows(ProtocolEvent.STORE)
+PROBE_GETS_NEXT_ROW, PROBE_GETS_ACTION_ROW = _event_rows(
+    ProtocolEvent.PROBE_GETS)
+PROBE_GETX_NEXT_ROW, PROBE_GETX_ACTION_ROW = _event_rows(
+    ProtocolEvent.PROBE_GETX)
+REPLACEMENT_NEXT_ROW, REPLACEMENT_ACTION_ROW = _event_rows(
+    ProtocolEvent.REPLACEMENT)
+
+#: action indices the kernel branches on (named so call sites read)
+A_NONE = ACTION_INDEX[Action.NONE]
+A_ISSUE_GETS = ACTION_INDEX[Action.ISSUE_GETS]
+A_ISSUE_GETX = ACTION_INDEX[Action.ISSUE_GETX]
+A_SILENT_UPGRADE = ACTION_INDEX[Action.SILENT_UPGRADE]
+A_WRITEBACK_DATA = ACTION_INDEX[Action.WRITEBACK_DATA]
+A_SEND_PUTS = ACTION_INDEX[Action.SEND_PUTS]
+A_SUPPLY_DATA = ACTION_INDEX[Action.SUPPLY_DATA]
+A_SEND_ACK = ACTION_INDEX[Action.SEND_ACK]

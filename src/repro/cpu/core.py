@@ -46,6 +46,11 @@ class CpuCore:
         self.stats = StatsRegistry(name)
         self._cycle_ticks = clock.cycles_to_ticks(1)
         self._period_ticks = clock.period_ticks
+        self._line_mask = ~(memory.engine.line_size - 1)
+        # drain-engine callbacks, bound once (they are passed on every
+        # drained store)
+        self._store_complete_cb = self._store_complete
+        self._drain_accepted_cb = self._drain_accepted
         self._ops_executed = self.stats.counter("ops_executed")
         self._load_latency = self.stats.histogram(
             "load_latency_ticks", [1000, 5000, 20000, 100000, 500000])
@@ -131,28 +136,36 @@ class CpuCore:
     # ------------------------------------------------------------------
 
     def _kick_drain(self) -> None:
-        line_mask = ~(self.memory.engine.line_size - 1)
+        sb_queue = self.store_buffer._queue
+        if not sb_queue \
+                or self._drains_outstanding >= self.max_outstanding_drains:
+            return
+        line_mask = self._line_mask
+        drained = self.store_buffer._drained
+        translate = self.mmu.translate
+        memory_store = self.memory.store
         while (self._drains_outstanding < self.max_outstanding_drains
-               and not self.store_buffer.is_empty):
-            address, value, _size = self.store_buffer.pop()
+               and sb_queue):
+            drained.value += 1
+            address, value, _size = sb_queue.popleft()
             # write combining: fold adjacent queued stores to the same
             # line into one transaction (streaming produce loops combine
             # a whole line per drain)
+            line = address & line_mask
             extra_words = []
-            while not self.store_buffer.is_empty:
-                next_address, _next_value, _next_size = \
-                    self.store_buffer.peek()
-                if (next_address & line_mask) != (address & line_mask):
+            while sb_queue:
+                head = sb_queue[0]
+                if (head[0] & line_mask) != line:
                     break
-                next_address, next_value, _next_size = \
-                    self.store_buffer.pop()
-                extra_words.append((next_address, next_value))
+                drained.value += 1
+                sb_queue.popleft()
+                extra_words.append((head[0], head[1]))
             self._drains_outstanding += 1
             self._stores_inflight += 1
-            translation = self.mmu.translate(address, is_store=True)
-            self.memory.store(translation, value, self._store_complete,
-                              extra_words=extra_words,
-                              on_accept=self._drain_accepted)
+            translation = translate(address, is_store=True)
+            memory_store(translation, value, self._store_complete_cb,
+                         extra_words=extra_words,
+                         on_accept=self._drain_accepted_cb)
 
     def _drain_accepted(self) -> None:
         """The memory system took the store; free its drain slot."""

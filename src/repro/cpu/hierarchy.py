@@ -17,6 +17,7 @@ Routing (paper Fig. 2, left):
 
 from __future__ import annotations
 
+from functools import partial
 from typing import Callable, List, Optional, Tuple
 
 from repro.coherence.hammer import AccessResult, HammerSystem
@@ -53,6 +54,12 @@ class CpuMemorySubsystem:
         #: hybrid); with it off the TLB signal is ignored (pure CCSM).
         self.forward_enabled = forward_enabled
         self.stats = StatsRegistry(name)
+        self._line_mask = ~(engine.line_size - 1)
+        #: dedicated-network flight latency, cached on first forward
+        self._ds_lat: Optional[int] = None
+        #: the local L2 array's probe, resolved on first install (the
+        #: agent registers with the engine after the port is built)
+        self._l2_probe: Optional[Callable] = None
         self._loads = self.stats.counter("loads")
         self._stores = self.stats.counter("stores")
         self._forwarded = self.stats.counter(
@@ -105,7 +112,7 @@ class CpuMemorySubsystem:
                 self.port.agent_name, translation.physical_address,
                 now + self._l1_ticks(translation.walk_cycles))
             self.queue.post_at(result.ready_tick,
-                               lambda: callback(result))
+                               partial(callback, result))
             return
         t_l1 = now + self._l1_ticks(translation.walk_cycles)
         line = self.l1d.lookup(translation.physical_address)
@@ -116,7 +123,7 @@ class CpuMemorySubsystem:
                     translation.physical_address)
                 word = line.data.get(offset, 0)
             result = AccessResult(t_l1, word, True, "local")
-            self.queue.post_at(t_l1, lambda: callback(result))
+            self.queue.post_at(t_l1, partial(callback, result))
             return
 
         def _on_fill(result: AccessResult) -> None:
@@ -127,8 +134,11 @@ class CpuMemorySubsystem:
 
     def _install_l1(self, physical_address: int) -> None:
         """Copy the (now-resident) L2 line up into the L1D."""
-        l2_line = self.port.engine.agents[self.port.agent_name].cache.probe(
-            physical_address)
+        l2_probe = self._l2_probe
+        if l2_probe is None:
+            l2_probe = self._l2_probe = self.port.engine.agents[
+                self.port.agent_name].cache.probe
+        l2_line = l2_probe(physical_address)
         if l2_line is None:
             return  # evicted again already; skip the install
         if self.l1d.probe(physical_address) is not None:
@@ -153,40 +163,47 @@ class CpuMemorySubsystem:
         the store buffer's drain slot frees then; *callback* fires when
         the store is globally performed.
         """
-        self._stores.increment(1 + len(extra_words or []))
+        n_words = 1 + len(extra_words) if extra_words else 1
+        self._stores.value += n_words
         now = self.queue.current_tick
+        physical_address = translation.physical_address
         if translation.direct_store and self.forward_enabled:
-            self._forwarded.increment(1 + len(extra_words or []))
-            line_address = translation.physical_address & ~(
-                self.engine.line_size - 1)
+            self._forwarded.value += n_words
+            line_address = physical_address & self._line_mask
             slice_name = self.slice_router(line_address)
             # same line ⇒ same page: translate extras by offset
-            physical_extras = [
-                (translation.physical_address
-                 + (va - translation.virtual_address), word_value)
-                for va, word_value in (extra_words or [])]
+            if extra_words:
+                base = physical_address - translation.virtual_address
+                physical_extras = [(base + va, word_value)
+                                   for va, word_value in extra_words]
+            else:
+                physical_extras = ()
             result = self.engine.remote_store(
                 self.port.agent_name, slice_name,
-                translation.physical_address, value, now,
+                physical_address, value, now,
                 extra_words=physical_extras)
             if on_accept is not None:
                 # the drain slot is held until the dedicated link has
                 # serialised the message (its backpressure point): the
                 # remote tag lookup + flight latency happen beyond it
                 dst_agent = self.engine.agents[slice_name]
+                ds_lat = self._ds_lat
+                if ds_lat is None:
+                    ds_lat = self._ds_lat = self._ds_latency_ticks()
                 accept_tick = max(now, result.ready_tick
-                                  - dst_agent.tag_ticks
-                                  - self._ds_latency_ticks())
+                                  - dst_agent.tag_ticks - ds_lat)
                 self.queue.post_at(accept_tick, on_accept)
             self.queue.post_at(result.ready_tick,
-                               lambda: callback(result))
+                               partial(callback, result))
             return
         # write-back, write-allocate: a hit retires in the L1
         t_l1 = now + self._l1_ticks(translation.walk_cycles)
-        physical_extras = [
-            (translation.physical_address
-             + (va - translation.virtual_address), word_value)
-            for va, word_value in (extra_words or [])]
+        if extra_words:
+            base = physical_address - translation.virtual_address
+            physical_extras = [(base + va, word_value)
+                               for va, word_value in extra_words]
+        else:
+            physical_extras = ()
         line = self.l1d.lookup(translation.physical_address)
         if line is not None:
             self._write_l1_word(line, translation.physical_address, value)
@@ -195,7 +212,7 @@ class CpuMemorySubsystem:
             result = AccessResult(t_l1, value, True, "local")
             if on_accept is not None:
                 self.queue.post_at(t_l1, on_accept)
-            self.queue.post_at(t_l1, lambda: callback(result))
+            self.queue.post_at(t_l1, partial(callback, result))
             return
 
         def _on_filled(result: AccessResult) -> None:

@@ -33,6 +33,9 @@ import os
 SCALAR_ENGINE_ENV = "REPRO_SCALAR_ENGINE"
 #: environment variable opting in to the compiled epoch inner loop
 COMPILED_ENGINE_ENV = "REPRO_COMPILED_ENGINE"
+#: environment variable disabling the batched coherence/memory kernel
+#: (set to ``0``); the kernel is otherwise on in epoch/compiled modes
+BATCH_KERNEL_ENV = "REPRO_BATCH_KERNEL"
 
 try:  # pragma: no cover - exercised only where numba is installed
     from numba import njit as _njit
@@ -63,6 +66,22 @@ def engine_mode() -> str:
     if compiled_engine_requested():
         return "compiled"
     return "epoch"
+
+
+def batch_kernel_enabled() -> bool:
+    """Is the batched coherence/memory kernel active?
+
+    The kernel (:mod:`repro.coherence.batch_kernel`) is the epoch-mode
+    companion of the compiled event queue: coherent ports route their
+    requests through fused, table-driven walks instead of the layered
+    per-message call path.  ``REPRO_SCALAR_ENGINE=1`` keeps the original
+    pure-Python path (the bit-identical reference CI diffs against);
+    ``REPRO_BATCH_KERNEL=0`` disables the kernel on its own so the two
+    optimisations can be isolated when debugging a divergence.
+    """
+    if os.environ.get(BATCH_KERNEL_ENV, "") == "0":
+        return False
+    return engine_mode() != "scalar"
 
 
 def maybe_njit(function):

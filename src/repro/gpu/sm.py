@@ -31,15 +31,68 @@ from repro.workloads.trace import OpKind, WarpOp, WarpProgram
 
 SliceRouter = Callable[[int], str]
 
+#: integer op codes for the precompiled issue loop (enum identity checks
+#: off the per-issue path); anything unknown maps to _K_OTHER and raises
+#: exactly where the reference dispatch would
+_K_COMPUTE, _K_SHMEM, _K_LOAD, _K_STORE, _K_OTHER = 0, 1, 2, 3, 4
+
+
+def _compile_ops(program: WarpProgram, period_ticks: int,
+                 shmem_latency_cycles: int
+                 ) -> Tuple[List[int], List[int]]:
+    """(kind codes, ready-tick deltas) for a program's op list.
+
+    COMPUTE and SHMEM ops complete a fixed number of ticks after issue;
+    precomputing ``max(1, cycles) * period`` turns the issue loop's
+    per-op timing arithmetic into one list index.  The compiled pair is
+    cached on the program keyed by the clock parameters, so the many SMs
+    sharing one clock (and repeat launches of the same trace) compile
+    once.
+    """
+    key = (period_ticks, shmem_latency_cycles)
+    cached = getattr(program, "_sm_compiled", None)
+    if cached is not None and cached[0] == key:
+        return cached[1], cached[2]
+    kinds: List[int] = []
+    deltas: List[int] = []
+    for op in program.ops:
+        kind = op.kind
+        if kind is OpKind.COMPUTE:
+            kinds.append(_K_COMPUTE)
+            deltas.append(max(1, op.cycles) * period_ticks)
+        elif kind is OpKind.SHMEM:
+            kinds.append(_K_SHMEM)
+            deltas.append(max(1, op.cycles) * shmem_latency_cycles
+                          * period_ticks)
+        elif kind is OpKind.LOAD:
+            kinds.append(_K_LOAD)
+            deltas.append(0)
+        elif kind is OpKind.STORE:
+            kinds.append(_K_STORE)
+            deltas.append(0)
+        else:
+            kinds.append(_K_OTHER)
+            deltas.append(0)
+    try:
+        program._sm_compiled = (key, kinds, deltas)
+    except AttributeError:  # slotted/frozen program: recompile per launch
+        pass
+    return kinds, deltas
+
 
 class _Warp:
     """Execution state of one resident warp."""
 
-    __slots__ = ("ops", "pc", "ready_tick", "pending_loads", "done")
+    __slots__ = ("ops", "kinds", "deltas", "pc", "num_ops", "ready_tick",
+                 "pending_loads", "done")
 
-    def __init__(self, program: WarpProgram) -> None:
+    def __init__(self, program: WarpProgram, period_ticks: int,
+                 shmem_latency_cycles: int) -> None:
         self.ops: List[WarpOp] = program.ops
+        self.kinds, self.deltas = _compile_ops(
+            program, period_ticks, shmem_latency_cycles)
         self.pc = 0
+        self.num_ops = len(self.ops)
         self.ready_tick = 0
         self.pending_loads = 0
         self.done = not self.ops
@@ -94,6 +147,50 @@ class StreamingMultiprocessor:
         self._outstanding_stores = 0
         self._on_done: Optional[Callable[[int], None]] = None
         self._active = False
+        # fast-path bindings (refreshed per launch; see _prepare_fast)
+        self._fast = False
+        self._do_load = self._execute_load
+        self._do_store = self._execute_store
+        self._store_done_cb = self._store_done
+        #: slice name → its L2 array's probe, resolved at first launch
+        #: (agents register with the engine after ports are built)
+        self._slice_probe: Optional[Dict[str, Callable]] = None
+        self._co_instr = self.coalescer._instructions
+        self._co_trans = self.coalescer._transactions
+        self._co_fanout = self.coalescer._fanout
+        tlb = mmu.tlb
+        self._tlb_entries = tlb._entries
+        self._tlb_hits = tlb._hits
+        self._tlb_misses = tlb._misses
+        self._tlb_capacity = tlb.num_entries
+        self._mmu_translations = mmu._translations
+        self._mmu_walk = mmu._walk_one
+        self._page_size = mmu.page_table.page_size
+
+    def _prepare_fast(self) -> None:
+        """Choose fused vs reference memory-op execution for this launch.
+
+        The fused path is only a call-graph flattening of the reference
+        composition (coalesce_op → translate_batch → lookup → port); any
+        observation hook that needs the layered entry points (profiler
+        sections, tracing, load recording, prefetching, the scalar
+        pipeline escape hatch, a direct-store detector TLB) forces the
+        reference methods for the whole launch.
+        """
+        self._fast = (not self._scalar and not self._prof.enabled
+                      and not TRACER.enabled and not self.record_loads
+                      and self.prefetcher is None
+                      and not self.mmu.tlb.detector_enabled)
+        if self._fast:
+            self._do_load = self._fused_load
+            self._do_store = self._fused_store
+        else:
+            self._do_load = self._execute_load
+            self._do_store = self._execute_store
+        if self._slice_probe is None:
+            self._slice_probe = {
+                name: port.engine.agents[name].cache.probe
+                for name, port in self.slice_ports.items()}
 
     # ------------------------------------------------------------------
 
@@ -103,7 +200,11 @@ class StreamingMultiprocessor:
         if self._active:
             raise RuntimeError(f"{self.name}: kernel already active")
         self.l1.flash_invalidate()
-        self._warps = [_Warp(program) for program in programs]
+        self._prepare_fast()
+        period_ticks = self._period_ticks
+        shmem_cycles = self.shmem_latency_cycles
+        self._warps = [_Warp(program, period_ticks, shmem_cycles)
+                       for program in programs]
         self._rr_index = 0
         self._on_done = on_done
         self._active = True
@@ -141,24 +242,76 @@ class StreamingMultiprocessor:
         self.queue.post_at(target, self._issue)
 
     def _issue(self) -> None:
+        # The scheduler's hottest event: pick, execute, and re-schedule
+        # are fused into one frame (identical decisions and event
+        # postings to the pick/_execute/_schedule_issue composition —
+        # the reference methods below stay as the spec and are used by
+        # the blocked-warp and launch paths).
         self._issue_scheduled = False
         if not self._active:
             return
         now = self.queue.current_tick
-        warp = self._pick_warp(now)
-        if warp is None:
+        warps = self._warps
+        count = len(warps)
+        index = self._rr_index
+        picked = None
+        for _ in range(count):
+            warp = warps[index]
+            index += 1
+            if index == count:
+                index = 0
+            if (not warp.done and warp.pending_loads == 0
+                    and warp.ready_tick <= now):
+                self._rr_index = index
+                picked = warp
+                break
+        if picked is None:
             self._schedule_issue()
             return
-        op = warp.ops[warp.pc]
-        warp.pc += 1
-        if warp.pc >= len(warp.ops):
-            warp.done = True
+        pc = picked.pc
+        kind = picked.kinds[pc]
+        next_pc = pc + 1
+        picked.pc = next_pc
+        if next_pc >= picked.num_ops:
+            picked.done = True
         self._issued.value += 1
-        self._next_issue_tick = now + self._cycle_ticks
-        self._execute(warp, op, now)
-        if warp.done and warp.pending_loads == 0:
-            self._maybe_finish()
-        self._schedule_issue()
+        base = now + self._cycle_ticks
+        self._next_issue_tick = base
+        if kind <= _K_SHMEM:  # COMPUTE or SHMEM: fixed-latency pipes
+            picked.ready_tick = now + picked.deltas[pc]
+            if picked.done:
+                self._maybe_finish()
+        elif kind == _K_LOAD:
+            self._do_load(picked, picked.ops[pc], now)
+            if picked.done and picked.pending_loads == 0:
+                self._maybe_finish()
+        elif kind == _K_STORE:
+            self._do_store(picked, picked.ops[pc], now)
+            if picked.done and picked.pending_loads == 0:
+                self._maybe_finish()
+        else:
+            raise ValueError(
+                f"{self.name}: warp op {picked.ops[pc].kind} not "
+                f"executable")
+        # inline _schedule_issue with an early exit: once any runnable
+        # warp is ready at or before the next issue slot, the slot time
+        # is the target regardless of the true minimum
+        if self._issue_scheduled or not self._active:
+            return
+        earliest = None
+        for warp in warps:
+            if not warp.done and warp.pending_loads == 0:
+                tick = warp.ready_tick
+                if tick <= base:
+                    earliest = base
+                    break
+                if earliest is None or tick < earliest:
+                    earliest = tick
+        if earliest is None:
+            return  # everyone blocked on memory; returns will re-schedule
+        self._issue_scheduled = True
+        self.queue.post_at(earliest if earliest > base else base,
+                           self._issue)
 
     def _pick_warp(self, now: int) -> Optional[_Warp]:
         """Loose round-robin over warps ready to issue right now."""
@@ -314,6 +467,110 @@ class StreamingMultiprocessor:
         """A warp store writes the full coalesced line at the L2."""
         port.store(line_pa, value, callback)
 
+    # ------------------------------------------------------------------
+    # fused op execution (the observation-free fast path)
+    # ------------------------------------------------------------------
+    #
+    # _fused_load/_fused_store replay _execute_load/_execute_store with
+    # the per-op layers (coalesce_op, translate_batch/resolve_one, the
+    # profiler bracketing) inlined for the dominant fully-coalesced
+    # single-line op.  Every counter, LRU motion, and event posting is
+    # made in the same order as the reference composition, so the two
+    # paths are bit-identical; _prepare_fast picks per launch.
+
+    def _translate_line(self, va: int, is_store: bool) -> int:
+        """Inlined MMU.translate_batch for a one-line op (GPU TLB)."""
+        self._mmu_translations.value += 1
+        entries = self._tlb_entries
+        vpn = va // self._page_size
+        pfn = entries.get(vpn)
+        if pfn is None:
+            self._tlb_misses.value += 1
+            pfn = self._mmu_walk(va)
+            if len(entries) >= self._tlb_capacity:
+                entries.popitem(last=False)
+            entries[vpn] = pfn
+        else:
+            self._tlb_hits.value += 1
+            entries.move_to_end(vpn)
+        return pfn * self._page_size + va % self._page_size
+
+    def _fused_load(self, warp: _Warp, op: WarpOp, now: int) -> None:
+        lines = op.lines
+        if lines is None or op.lines_size != self.coalescer.line_size:
+            self._execute_load(warp, op, now)
+            return
+        warp.ready_tick = now + self._l1_ticks
+        num_lines = len(lines)
+        self._co_instr.value += 1
+        self._co_trans.value += num_lines
+        self._co_fanout.record(num_lines)
+        if num_lines == 1:
+            pas = (self._translate_line(lines[0], False),)
+        else:
+            pas = self.mmu.translate_batch(lines, is_store=False)
+        if num_lines > 1:
+            resident = self.l1.lookup_batch(pas)
+        else:
+            resident = (self.l1.lookup(pas[0]),)
+        for pa, line in zip(pas, resident):
+            if line is not None:
+                continue
+            warp.pending_loads += 1
+            port = self.slice_ports[self.slice_router(pa)]
+
+            def _on_fill(result: AccessResult, pa: int = pa) -> None:
+                self._install_l1(pa)
+                self._load_latency.record(
+                    self.queue.current_tick - now)
+                warp.pending_loads -= 1
+                if warp.pending_loads == 0:
+                    warp.ready_tick = max(warp.ready_tick,
+                                          self.queue.current_tick)
+                    if warp.done:
+                        self._maybe_finish()
+                    else:
+                        self._schedule_issue()
+
+            port.load(pa, _on_fill)
+
+    def _store_done(self, _result: AccessResult) -> None:
+        """Shared completion callback for fused warp stores."""
+        self._outstanding_stores -= 1
+        self._maybe_finish()
+
+    def _fused_store(self, warp: _Warp, op: WarpOp, now: int) -> None:
+        lines = op.lines
+        if lines is None or op.lines_size != self.coalescer.line_size:
+            self._execute_store(warp, op, now)
+            return
+        warp.ready_tick = now + self._cycle_ticks
+        num_lines = len(lines)
+        self._co_instr.value += 1
+        self._co_trans.value += num_lines
+        self._co_fanout.record(num_lines)
+        if num_lines == 1:
+            pas = (self._translate_line(lines[0], True),)
+        else:
+            pas = self.mmu.translate_batch(lines, is_store=True)
+        value = op.value
+        store_done = self._store_done_cb
+        if num_lines == 1:
+            residents = (self.l1.probe(pas[0]),)
+        else:
+            # all probes precede any store, as in the reference path (a
+            # store's walk may back-invalidate a later line of this op)
+            residents = self.l1.probe_batch(pas)
+        for pa, resident in zip(pas, residents):
+            # write-through, no-allocate: update an existing L1 copy only
+            if resident is not None and value is not None:
+                if resident.data is None:
+                    resident.data = {}
+                resident.data.update(self._full_line_image(value))
+            self._outstanding_stores += 1
+            self.slice_ports[self.slice_router(pa)].store(
+                pa, value, store_done)
+
     def _install_l1(self, physical_address: int) -> None:
         """Copy the slice-resident line up into the SM's L1."""
         prof = self._prof
@@ -321,9 +578,8 @@ class StreamingMultiprocessor:
         if profiling:
             prof.start("cache")
         if self.l1.probe(physical_address) is None:
-            slice_name = self.slice_router(physical_address)
-            l2_line = self.slice_ports[slice_name].engine.agents[
-                slice_name].cache.probe(physical_address)
+            l2_line = self._slice_probe[
+                self.slice_router(physical_address)](physical_address)
             data = None
             if l2_line is not None and l2_line.data is not None:
                 data = dict(l2_line.data)

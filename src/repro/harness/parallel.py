@@ -67,7 +67,14 @@ class WorkerError(RuntimeError):
 
 
 def resolve_jobs(jobs: Optional[int] = None) -> int:
-    """Worker count: explicit argument > ``REPRO_JOBS`` > cpu count."""
+    """Worker count: explicit argument > ``REPRO_JOBS`` > cpu count.
+
+    On a single-hardware-thread host the answer is always 1: a process
+    pool there buys no parallelism and pays spawn + pickle overhead for
+    every point (the ``speedup_parallel_vs_serial: 0.91`` regression in
+    the benchmark record), so even an explicit ``jobs > 1`` is clamped
+    and the batch runs in-process.
+    """
     if jobs is None:
         env = os.environ.get(JOBS_ENV, "").strip()
         if env:
@@ -78,7 +85,10 @@ def resolve_jobs(jobs: Optional[int] = None) -> int:
                     f"{JOBS_ENV} must be an integer, got {env!r}") from None
         else:
             jobs = os.cpu_count() or 1
-    return max(1, jobs)
+    jobs = max(1, jobs)
+    if jobs > 1 and (os.cpu_count() or 1) == 1:
+        jobs = 1
+    return jobs
 
 
 def _execute_point(point: RunPoint) -> RunResult:

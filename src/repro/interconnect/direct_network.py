@@ -38,6 +38,9 @@ class DirectStoreNetwork(Network):
         }
         self._forwarded = self.stats.counter(
             "forwarded_stores", "stores pushed to the GPU L2")
+        #: per-class wire size, computed once for :meth:`forward_raw`
+        self._wire = {msg_class: msg_class.size_bytes(line_size)
+                      for msg_class in MessageClass}
 
     @property
     def slice_names(self) -> List[str]:
@@ -64,6 +67,28 @@ class DirectStoreNetwork(Network):
                 now_tick, arrival, track=self.name,
                 args={"dst": message.dst,
                       "line": message.line_address})
+        return arrival
+
+    def forward_raw(self, dst: str, msg_class: MessageClass,
+                    line_address: int, now_tick: int) -> int:
+        """Forward one store with no :class:`NetworkMessage` allocation.
+
+        Timing, accounting, and trace stream identical to :meth:`send`
+        for a DATA/STORE_FORWARD message from the fixed source.
+        """
+        link = self._links.get(dst)
+        if link is None:
+            raise KeyError(f"{self.name}: unknown slice {dst!r}")
+        size = self._wire[msg_class]
+        self._messages.value += 1
+        self._bytes.value += size
+        self._forwarded.value += 1
+        arrival = link.send(size, now_tick)
+        if TRACER.enabled:
+            TRACER.span(
+                "direct_store", "forward", now_tick, arrival,
+                track=self.name,
+                args={"dst": dst, "line": line_address})
         return arrival
 
     @property

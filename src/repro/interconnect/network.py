@@ -18,6 +18,7 @@ from repro.engine.clock import ClockDomain
 from repro.interconnect.link import Link
 from repro.interconnect.message import MessageClass, NetworkMessage
 from repro.telemetry.tracer import TRACER
+from repro.utils.profiler import PROFILER
 from repro.utils.statistics import StatsRegistry
 
 
@@ -88,6 +89,11 @@ class Crossbar(Network):
                         msg_class.virtual_network,
                         msg_class.name.lower())
             for msg_class in MessageClass}
+        #: ``(src, dst, class) -> (egress link, ingress link, size)``
+        #: route cache for the batched coherence kernel, which books the
+        #: two links directly instead of re-walking the node/vnet dicts
+        #: per message.  Links are never replaced, so entries stay valid.
+        self._routes: Dict[tuple, tuple] = {}
 
     def add_node(self, node: str, bytes_per_cycle: int = 32) -> None:
         """Attach *node* to the crossbar (one link pair per vnet)."""
@@ -115,11 +121,17 @@ class Crossbar(Network):
             raise KeyError(f"{self.name}: unknown source {message.src!r}")
         if message.dst not in self._ingress:
             raise KeyError(f"{self.name}: unknown dest {message.dst!r}")
+        prof = PROFILER
+        profiling = prof.enabled
+        if profiling:
+            prof.start("network")
         self._account(message)
         size = message.size_bytes(self.line_size)
         vnet = message.msg_class.virtual_network
         at_switch = self._egress[message.src][vnet].send(size, now_tick)
         arrival = self._ingress[message.dst][vnet].send(size, at_switch)
+        if profiling:
+            prof.stop()
         if TRACER.enabled:
             TRACER.span(
                 "network", message.msg_class.name.lower(), now_tick,
@@ -142,16 +154,49 @@ class Crossbar(Network):
         if ingress is None:
             raise KeyError(f"{self.name}: unknown dest {dst!r}")
         size, vnet, label = self._wire[msg_class]
+        prof = PROFILER
+        profiling = prof.enabled
+        if profiling:
+            prof.start("network")
         self._messages.value += 1
         self._bytes.value += size
         at_switch = egress[vnet].send(size, now_tick)
         arrival = ingress[vnet].send(size, at_switch)
+        if profiling:
+            prof.stop()
         if TRACER.enabled:
             TRACER.span(
                 "network", label, now_tick, arrival, track=self.name,
                 args={"src": src, "dst": dst,
                       "line": line_address, "bytes": size})
         return arrival
+
+    def route(self, src: str, dst: str, msg_class: MessageClass) -> tuple:
+        """Resolved ``(egress_link, ingress_link, wire_size)`` for a path.
+
+        The batched kernel precomputes routes for the fixed src/dst
+        pairs a walk can touch and books the links itself; it must bump
+        :attr:`message_counters` alongside each booking so accounting
+        matches :meth:`send_raw` exactly.
+        """
+        key = (src, dst, msg_class)
+        cached = self._routes.get(key)
+        if cached is None:
+            egress = self._egress.get(src)
+            if egress is None:
+                raise KeyError(f"{self.name}: unknown source {src!r}")
+            ingress = self._ingress.get(dst)
+            if ingress is None:
+                raise KeyError(f"{self.name}: unknown dest {dst!r}")
+            size, vnet, _label = self._wire[msg_class]
+            cached = (egress[vnet], ingress[vnet], size)
+            self._routes[key] = cached
+        return cached
+
+    @property
+    def message_counters(self) -> tuple:
+        """The (messages, bytes) counters a direct-booking caller bumps."""
+        return self._messages, self._bytes
 
     def link_queue_delay(self, node: str) -> int:
         """Total queueing delay accumulated at *node*'s links (ticks)."""

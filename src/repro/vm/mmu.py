@@ -18,9 +18,14 @@ from repro.vm.pagetable import PageTable
 from repro.vm.tlb import TLB
 
 
-@dataclass(frozen=True)
+@dataclass(slots=True)
 class Translation:
-    """Result of one MMU translation."""
+    """Result of one MMU translation.
+
+    Slotted and unfrozen: translations are built on the per-access hot
+    path, and the frozen-dataclass ``__setattr__`` round-trip per field
+    was measurable there.  Treat instances as immutable regardless.
+    """
 
     virtual_address: int
     physical_address: int

@@ -56,12 +56,9 @@ def cpu_produce(base: int, nbytes: int, value_seed: int = 1,
     store as issue delay, modelling the per-element generation work
     (random init, parsing, arithmetic) every real produce loop does.
     """
-    ops: List[CpuOp] = []
-    for offset in range(0, nbytes, CPU_STORE_BYTES):
-        op = CpuOp.store(base + offset, value_seed + offset)
-        op.cycles = gen_cycles
-        ops.append(op)
-    return ops
+    return [CpuOp(OpKind.STORE, base + offset, value_seed + offset,
+                  gen_cycles)
+            for offset in range(0, nbytes, CPU_STORE_BYTES)]
 
 
 def cpu_consume(base: int, nbytes: int,
@@ -118,15 +115,21 @@ def stream_warps(base: int, nbytes: int, num_warps: int,
     matrix = _line_matrix(base, num_lines, lanes, line_size)
     lines_per_row = coalesce_rows(matrix, line_size)
     programs = [WarpProgram() for _ in range(num_warps)]
+    # ops are immutable once built, so each line's op group is created
+    # once and the objects shared across reuse iterations
+    per_line: List[List[WarpOp]] = []
+    for line_index in range(num_lines):
+        group = [_mem_op(matrix[line_index], is_store, value,
+                         lines_per_row[line_index], line_size)]
+        if compute_per_line:
+            group.append(WarpOp.compute(compute_per_line))
+        if shmem_per_line:
+            group.append(WarpOp.shmem(shmem_per_line))
+        per_line.append(group)
     for _iteration in range(reuse):
         for line_index in range(num_lines):
-            warp = programs[line_index % num_warps]
-            warp.ops.append(_mem_op(matrix[line_index], is_store, value,
-                                    lines_per_row[line_index], line_size))
-            if compute_per_line:
-                warp.ops.append(WarpOp.compute(compute_per_line))
-            if shmem_per_line:
-                warp.ops.append(WarpOp.shmem(shmem_per_line))
+            programs[line_index % num_warps].ops.extend(
+                per_line[line_index])
     return programs
 
 
@@ -209,17 +212,20 @@ def broadcast_warps(base: int, nbytes: int, num_warps: int,
     num_lines = max(1, nbytes // line_size)
     programs = [WarpProgram() for _ in range(num_warps)]
     if vectorize_enabled():
-        # one shared matrix: every warp re-reads the same rows/lines
+        # one shared matrix: every warp re-reads the same rows/lines.
+        # Ops are immutable once built, so the whole sweep is created
+        # once and the op objects shared across warps and repeats.
         matrix = _line_matrix(base, num_lines, lanes, line_size)
         lines_per_row = coalesce_rows(matrix, line_size)
+        sweep: List[WarpOp] = []
+        for line_index in range(num_lines):
+            sweep.append(_mem_op(matrix[line_index], False, None,
+                                 lines_per_row[line_index], line_size))
+            if compute_per_line:
+                sweep.append(WarpOp.compute(compute_per_line))
         for warp in programs:
             for _repeat in range(repeats):
-                for line_index in range(num_lines):
-                    warp.ops.append(_mem_op(
-                        matrix[line_index], False, None,
-                        lines_per_row[line_index], line_size))
-                    if compute_per_line:
-                        warp.ops.append(WarpOp.compute(compute_per_line))
+                warp.ops.extend(sweep)
         return programs
     for warp in programs:
         for _repeat in range(repeats):
@@ -275,9 +281,9 @@ def shmem_compute_warps(num_warps: int, bursts: int,
                         cycles_per_burst: int) -> List[WarpProgram]:
     """Pure scratchpad compute (the inner loops of tiled kernels)."""
     programs = [WarpProgram() for _ in range(num_warps)]
+    burst_op = WarpOp.shmem(cycles_per_burst)  # immutable: share it
     for warp in programs:
-        for _burst in range(bursts):
-            warp.ops.append(WarpOp.shmem(cycles_per_burst))
+        warp.ops.extend([burst_op] * bursts)
     return programs
 
 

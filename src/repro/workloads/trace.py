@@ -42,7 +42,7 @@ class OpKind(Enum):
     SHMEM = "shmem"  # GPU software-managed shared memory access
 
 
-@dataclass
+@dataclass(slots=True)
 class CpuOp:
     """One in-order CPU operation."""
 
@@ -64,7 +64,7 @@ class CpuOp:
         return CpuOp(OpKind.COMPUTE, cycles=cycles)
 
 
-@dataclass
+@dataclass(slots=True)
 class WarpOp:
     """One warp-wide GPU operation.
 

@@ -72,7 +72,8 @@ class TestTrailingState:
         system.dram.access(0, 0)
         system.dram.reset_banks()
         # the bank state is clean; rows closed
-        assert all(bank.open_row is None for bank in system.dram._banks)
+        assert all(row == -1 for row in system.dram._bank_open_row)
+        assert all(tick == 0 for tick in system.dram._bank_ready)
 
 
 class TestConfigValidation:

@@ -13,6 +13,14 @@ from repro.harness.parallel import (
 from repro.harness.runner import compare_modes, run_benchmark
 
 
+@pytest.fixture
+def multi_core(monkeypatch):
+    """Report a multi-core host so pool-path tests dodge the 1-core
+    in-process clamp in :func:`resolve_jobs` regardless of where the
+    suite runs."""
+    monkeypatch.setattr("repro.harness.parallel.os.cpu_count", lambda: 4)
+
+
 def _points(tiny_config, codes=("VA", "PT"), modes=None):
     config = tiny_config.with_overrides(track_values=False)
     modes = modes or (CoherenceMode.CCSM, CoherenceMode.DIRECT_STORE)
@@ -22,10 +30,14 @@ def _points(tiny_config, codes=("VA", "PT"), modes=None):
 
 class TestResolveJobs:
     def test_explicit_wins(self, monkeypatch):
+        monkeypatch.setattr("repro.harness.parallel.os.cpu_count",
+                            lambda: 8)
         monkeypatch.setenv("REPRO_JOBS", "7")
         assert resolve_jobs(3) == 3
 
     def test_env_fallback(self, monkeypatch):
+        monkeypatch.setattr("repro.harness.parallel.os.cpu_count",
+                            lambda: 8)
         monkeypatch.setenv("REPRO_JOBS", "5")
         assert resolve_jobs() == 5
 
@@ -37,12 +49,21 @@ class TestResolveJobs:
         assert resolve_jobs(0) == 1
         assert resolve_jobs(-4) == 1
 
+    def test_single_core_host_runs_in_process(self, monkeypatch):
+        """A pool on one hardware thread is pure overhead: clamp it."""
+        monkeypatch.setattr("repro.harness.parallel.os.cpu_count",
+                            lambda: 1)
+        monkeypatch.setenv("REPRO_JOBS", "7")
+        assert resolve_jobs() == 1
+        assert resolve_jobs(4) == 1
+
     def test_bad_env_rejected(self, monkeypatch):
         monkeypatch.setenv("REPRO_JOBS", "lots")
         with pytest.raises(ValueError):
             resolve_jobs()
 
 
+@pytest.mark.usefixtures("multi_core")
 class TestParallelRunner:
     def test_deterministic_input_order(self, tiny_config):
         points = _points(tiny_config)
@@ -103,6 +124,7 @@ class TestParallelRunner:
         assert len(seen) == 2
 
 
+@pytest.mark.usefixtures("multi_core")
 class TestPoolDegradedPaths:
     """The process pool failing must never lose or duplicate points."""
 

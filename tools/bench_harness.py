@@ -36,6 +36,11 @@ Usage::
     --service-code CODE    benchmark submitted through the job server
                            for the service section (default: VA)
     --skip-service         omit the service section
+    --profile-codes ...    codes run once per mode with the section
+                           profiler enabled; per-section self-times land
+                           in the record's ``profile`` section
+                           (default: KM FW)
+    --skip-profile         omit the profile section
 
 The serial phase also records per-benchmark end-to-end seconds
 (``per_benchmark_s``) so a regression is attributable to a specific
@@ -123,21 +128,31 @@ def bench_warp_pipeline(codes, input_size, repeats):
 
 
 def bench_engine_core(codes, input_size, repeats):
-    """Time the scalar vs epoch vs compiled event engines per benchmark.
+    """Time the event-engine and batched-kernel combinations per benchmark.
 
     Mirrors :func:`bench_warp_pipeline`: every mode runs *repeats*
     times in-process (best-of, first run discarded as warm-up when
-    repeats > 1), and the three engines must produce identical tick
-    counts or the record is flagged.  The env toggles work in-process
-    because the mode is resolved when each run's ``Simulator`` is
-    constructed.
+    repeats > 1), and all modes must produce identical tick counts or
+    the record is flagged.  The env toggles work in-process because the
+    mode is resolved when each run's ``Simulator`` is constructed.
+
+    The modes isolate each optimisation layer: ``scalar`` is the
+    original per-event loop, ``epoch``/``compiled`` run the respective
+    drain loops with the batched coherence kernel *disabled*, and
+    ``batched_kernel``/``compiled_batched`` add the kernel back (the
+    shipping defaults).
     """
-    from repro.engine.modes import COMPILED_ENGINE_ENV, SCALAR_ENGINE_ENV
-    env_names = (SCALAR_ENGINE_ENV, COMPILED_ENGINE_ENV)
+    from repro.engine.modes import (BATCH_KERNEL_ENV, COMPILED_ENGINE_ENV,
+                                    SCALAR_ENGINE_ENV)
+    env_names = (SCALAR_ENGINE_ENV, COMPILED_ENGINE_ENV, BATCH_KERNEL_ENV)
     saved = {name: os.environ.get(name) for name in env_names}
-    env_by_mode = {"scalar": {SCALAR_ENGINE_ENV: "1"},
-                   "epoch": {},
-                   "compiled": {COMPILED_ENGINE_ENV: "1"}}
+    env_by_mode = {
+        "scalar": {SCALAR_ENGINE_ENV: "1"},
+        "epoch": {BATCH_KERNEL_ENV: "0"},
+        "compiled": {COMPILED_ENGINE_ENV: "1", BATCH_KERNEL_ENV: "0"},
+        "batched_kernel": {},
+        "compiled_batched": {COMPILED_ENGINE_ENV: "1"},
+    }
     section = {"input_size": input_size, "repeats": repeats,
                "benchmarks": {}}
     try:
@@ -159,12 +174,15 @@ def bench_engine_core(codes, input_size, repeats):
                 ticks[label] = result.total_ticks
             entry["speedup_epoch_vs_scalar"] = round(
                 entry["scalar_s"] / entry["epoch_s"], 2)
-            entry["total_ticks"] = ticks["epoch"]
+            entry["speedup_batched_vs_scalar"] = round(
+                entry["scalar_s"] / entry["batched_kernel_s"], 2)
+            entry["total_ticks"] = ticks["batched_kernel"]
             entry["ticks_identical"] = len(set(ticks.values())) == 1
             section["benchmarks"][code] = entry
             print(f"engine_core    {code}: scalar {entry['scalar_s']}s, "
                   f"epoch {entry['epoch_s']}s, "
-                  f"compiled {entry['compiled_s']}s (ticks "
+                  f"compiled {entry['compiled_s']}s, "
+                  f"batched {entry['batched_kernel_s']}s (ticks "
                   f"{'equal' if entry['ticks_identical'] else 'DIFFER'})",
                   file=sys.stderr)
     finally:
@@ -176,6 +194,58 @@ def bench_engine_core(codes, input_size, repeats):
     section["ticks_identical"] = all(
         entry["ticks_identical"]
         for entry in section["benchmarks"].values())
+    section["batched_kernel"] = {
+        "per_benchmark_s": {
+            code: entry["batched_kernel_s"]
+            for code, entry in section["benchmarks"].items()},
+        "speedup_vs_scalar": {
+            code: entry["speedup_batched_vs_scalar"]
+            for code, entry in section["benchmarks"].items()},
+    }
+    return section
+
+
+def bench_profile(codes, input_size):
+    """Per-section self-time attribution for one profiled run per code.
+
+    Runs each benchmark once under CCSM and once under direct store with
+    the section profiler enabled and records every section's exclusive
+    seconds and entry counts — the attribution data the next
+    optimization round starts from.  Profiled runs take the layered
+    reference paths (observation hooks disable the fused fast paths), so
+    the absolute seconds are not comparable to the serial phase; the
+    *shares* are what matter.
+    """
+    from repro.utils.profiler import PROFILER
+
+    section = {"input_size": input_size, "benchmarks": {}}
+    PROFILER.enable()
+    try:
+        for code in codes:
+            entry = {}
+            for mode in (CoherenceMode.CCSM, CoherenceMode.DIRECT_STORE):
+                PROFILER.reset()
+                start = time.perf_counter()
+                run_benchmark(code, input_size, mode)
+                elapsed = time.perf_counter() - start
+                names = sorted(PROFILER.self_seconds,
+                               key=lambda name: -PROFILER.self_seconds[name])
+                entry[mode.value] = {
+                    "total_s": round(elapsed, 3),
+                    "self_s": {name: round(PROFILER.self_seconds[name], 3)
+                               for name in names},
+                    "calls": {name: PROFILER.calls.get(name, 0)
+                              for name in names},
+                }
+            section["benchmarks"][code] = entry
+            top = next(iter(entry["ccsm"]["self_s"]), "-")
+            print(f"{'profile':14s} {code}: ccsm "
+                  f"{entry['ccsm']['total_s']}s, direct_store "
+                  f"{entry['direct_store']['total_s']}s "
+                  f"(top section: {top})", file=sys.stderr)
+    finally:
+        PROFILER.disable()
+        PROFILER.reset()
     return section
 
 
@@ -290,6 +360,8 @@ def main(argv=None):
     parser.add_argument("--skip-engine", action="store_true")
     parser.add_argument("--service-code", default="VA")
     parser.add_argument("--skip-service", action="store_true")
+    parser.add_argument("--profile-codes", nargs="*", default=["KM", "FW"])
+    parser.add_argument("--skip-profile", action="store_true")
     args = parser.parse_args(argv)
 
     codes = args.codes or benchmark_codes()
@@ -335,9 +407,16 @@ def main(argv=None):
                 previous_serial / serial_s, 2)
 
     parallel_runner = ParallelRunner(jobs=args.jobs, cache=cache)
-    parallel_s, parallel_results = run_phase("parallel cold",
+    # On a 1-core host (or jobs=1) the runner executes in-process; a
+    # "parallel" phase there would just time pool overhead, so the cold
+    # cache-fill pass is recorded as what it is instead.
+    in_process = parallel_runner.jobs == 1
+    record["parallel_in_process"] = in_process
+    phase_label = "cold fill" if in_process else "parallel cold"
+    parallel_s, parallel_results = run_phase(phase_label,
                                              parallel_runner, points)
-    record["phases"]["parallel_cold_s"] = round(parallel_s, 3)
+    phase_key = "cold_fill_s" if in_process else "parallel_cold_s"
+    record["phases"][phase_key] = round(parallel_s, 3)
 
     warm_runner = ParallelRunner(jobs=args.jobs, cache=ResultCache(cache_dir))
     cached_s, cached_results = run_phase("cached warm", warm_runner,
@@ -348,8 +427,9 @@ def main(argv=None):
     if serial_results is not None:
         identical = identical and (ticks_of(serial_results)
                                    == ticks_of(parallel_results))
-        record["speedup_parallel_vs_serial"] = round(
-            record["phases"]["serial_uncached_s"] / parallel_s, 2)
+        if not in_process:
+            record["speedup_parallel_vs_serial"] = round(
+                record["phases"]["serial_uncached_s"] / parallel_s, 2)
         record["speedup_cached_vs_serial"] = round(
             record["phases"]["serial_uncached_s"] / cached_s, 2)
     record["speedup_cached_vs_parallel"] = round(parallel_s / cached_s, 2)
@@ -372,6 +452,10 @@ def main(argv=None):
         record["service"] = bench_service(args.service_code,
                                           args.input_size)
         identical = identical and record["service"]["ticks_identical"]
+
+    if not args.skip_profile:
+        record["profile"] = bench_profile(args.profile_codes,
+                                          args.input_size)
 
     output_path.write_text(json.dumps(record, indent=2) + "\n")
     print(f"wrote {args.output}", file=sys.stderr)
