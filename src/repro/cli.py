@@ -10,6 +10,8 @@ Subcommands:
 ``table2``     print the benchmark inventory
 ``translate``  run the §III-C source translator on a .cu file
 ``sweep``      ablation sweeps (ds-latency, ds-bandwidth, l2-size)
+``explore``    analytic design-space explorer (docs/EXPLORER.md)
+``cache``      result-cache maintenance (stats / compact / evict)
 ``serve``      long-running simulation job server (docs/SERVICE.md)
 ``submit``     submit one job to a running server and await the result
 """
@@ -135,6 +137,57 @@ def _parser() -> argparse.ArgumentParser:
     sweep.add_argument("code", nargs="?", default="VA")
     _add_common(sweep)
     _add_execution(sweep)
+
+    explore = sub.add_parser(
+        "explore", help="analytic design-space explorer")
+    explore.add_argument("code", nargs="?", default="VA",
+                         help="Table II code to explore (default VA)")
+    _add_common(explore)
+    _add_execution(explore)
+    explore.add_argument(
+        "--points", type=int, default=256,
+        help="candidates to score analytically (default 256; the full "
+             "grid when it is smaller)")
+    explore.add_argument("--seed", type=int, default=0,
+                         help="candidate-sampling seed (default 0)")
+    explore.add_argument(
+        "--top-k", type=int, default=8,
+        help="frontier points to validate with real simulations "
+             "(default 8, max 16)")
+    explore.add_argument(
+        "--axes", nargs="*", default=None, metavar="AXIS",
+        help="subset of the default axes to sweep (sm_count, l1_size, "
+             "l2_size, link_width, dram_banks)")
+    explore.add_argument(
+        "--modes", nargs="*", default=None, choices=sorted(MODES),
+        help="coherence modes to include (default: ccsm direct_store)")
+    explore.add_argument(
+        "--serve-url", default=None, metavar="URL",
+        help="fan probes and validations out to a running "
+             "'repro serve' instead of simulating in-process")
+    explore.add_argument(
+        "--report-out", default=None, metavar="PATH",
+        help="also write the full report as JSON")
+    explore.add_argument(
+        "--no-refit", action="store_true",
+        help="skip the closed-loop beta refit from validation runs")
+
+    cache_parser = sub.add_parser(
+        "cache", help="result-cache maintenance")
+    cache_parser.add_argument("action",
+                              choices=("stats", "compact", "evict"))
+    cache_parser.add_argument(
+        "--cache-dir", default=None,
+        help="result cache directory (default: REPRO_CACHE_DIR "
+             "or .repro_cache)")
+    cache_parser.add_argument(
+        "--bytes", type=int, default=None, metavar="N",
+        help="byte budget: compact/evict delete least-recently-used "
+             "entries beyond it (evict requires it; compact falls back "
+             "to REPRO_CACHE_BYTES)")
+    cache_parser.add_argument(
+        "--json", action="store_true",
+        help="print machine-readable JSON instead of a table")
 
     serve = sub.add_parser(
         "serve", help="run the simulation job server")
@@ -364,6 +417,89 @@ def _cmd_sweep(args) -> int:
     return 0
 
 
+def _cmd_explore(args) -> int:
+    import json
+    from repro.model import DesignSpace, default_axes, explore, \
+        format_report
+    axes = None
+    if args.axes is not None:
+        by_name = {axis.name: axis for axis in default_axes()}
+        unknown = [name for name in args.axes if name not in by_name]
+        if unknown:
+            raise ValueError(
+                f"unknown axis {unknown[0]!r}; choose from "
+                f"{', '.join(by_name)}")
+        if not args.axes:
+            raise ValueError("--axes needs at least one axis name")
+        axes = tuple(by_name[name] for name in args.axes)
+    modes = None
+    if args.modes is not None:
+        if not args.modes:
+            raise ValueError("--modes needs at least one mode")
+        modes = tuple(MODES[value] for value in args.modes)
+    client = None
+    if args.serve_url:
+        from repro.serve.client import ServeClient
+        client = ServeClient.from_url(args.serve_url)
+    space = DesignSpace(axes=axes, modes=modes)
+    report = explore(
+        args.code, args.input_size, points=args.points, seed=args.seed,
+        top_k=args.top_k, space=space, jobs=args.jobs,
+        cache=None if client is not None else _cache_for(args),
+        client=client, refit=not args.no_refit,
+        progress=lambda label: print(f"  simulated {label}",
+                                     file=sys.stderr))
+    print(format_report(report))
+    if args.report_out:
+        with open(args.report_out, "w") as handle:
+            json.dump(report.to_dict(), handle, indent=2)
+        print(f"wrote {args.report_out}", file=sys.stderr)
+    return 0
+
+
+def _format_bytes(count: int) -> str:
+    value = float(count)
+    for unit in ("B", "KiB", "MiB", "GiB"):
+        if value < 1024 or unit == "GiB":
+            return (f"{value:.1f} {unit}" if unit != "B"
+                    else f"{count} B")
+        value /= 1024
+    return f"{count} B"  # unreachable
+
+
+def _cmd_cache(args) -> int:
+    import json
+    from repro.harness.resultcache import ResultCache
+    cache = ResultCache(args.cache_dir or None)
+    if args.action == "stats":
+        stats = cache.scan()
+        if args.json:
+            print(json.dumps(dict(stats.to_dict(),
+                                  directory=str(cache.directory)),
+                             indent=2))
+        else:
+            print(format_table(["Cache", "Value"], [
+                ("directory", str(cache.directory)),
+                ("entries", f"{stats.entries:,}"),
+                ("total size", _format_bytes(stats.total_bytes)),
+                ("shard dirs", str(stats.shard_dirs)),
+                ("legacy flat entries", str(stats.legacy_entries)),
+                ("stale temp files", str(stats.stale_tmp)),
+            ]))
+        return 0
+    if args.action == "evict" and args.bytes is None:
+        raise ValueError("cache evict requires --bytes N")
+    before = cache.scan()
+    evicted = cache.compact(byte_budget=args.bytes)
+    after = cache.scan()
+    print(f"{args.action}: {evicted} entr"
+          f"{'y' if evicted == 1 else 'ies'} evicted, "
+          f"{before.stale_tmp - after.stale_tmp} stale temp file(s) "
+          f"swept; {after.entries:,} entries, "
+          f"{_format_bytes(after.total_bytes)} remain")
+    return 0
+
+
 def _cmd_serve(args) -> int:
     import os
     from repro.harness.resultcache import ResultCache
@@ -434,6 +570,8 @@ _COMMANDS = {
     "table2": _cmd_table2,
     "translate": _cmd_translate,
     "sweep": _cmd_sweep,
+    "explore": _cmd_explore,
+    "cache": _cmd_cache,
     "serve": _cmd_serve,
     "submit": _cmd_submit,
 }
@@ -441,7 +579,7 @@ _COMMANDS = {
 
 def main(argv: Optional[List[str]] = None) -> int:
     args = _parser().parse_args(argv)
-    if args.command in ("run", "compare") :
+    if args.command in ("run", "compare", "explore"):
         if args.code.upper() not in benchmark_codes():
             print(f"unknown benchmark {args.code!r}; choose from "
                   f"{', '.join(benchmark_codes())}", file=sys.stderr)

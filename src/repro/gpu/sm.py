@@ -36,6 +36,10 @@ SliceRouter = Callable[[int], str]
 #: exactly where the reference dispatch would
 _K_COMPUTE, _K_SHMEM, _K_LOAD, _K_STORE, _K_OTHER = 0, 1, 2, 3, 4
 
+#: warp ``gate`` value meaning "cannot issue": done, or blocked on loads.
+#: An int (not inf) so gate comparisons never promote to float.
+_GATE_BLOCKED = 1 << 62
+
 
 def _compile_ops(program: WarpProgram, period_ticks: int,
                  shmem_latency_cycles: int
@@ -53,26 +57,22 @@ def _compile_ops(program: WarpProgram, period_ticks: int,
     cached = getattr(program, "_sm_compiled", None)
     if cached is not None and cached[0] == key:
         return cached[1], cached[2]
-    kinds: List[int] = []
-    deltas: List[int] = []
-    for op in program.ops:
-        kind = op.kind
-        if kind is OpKind.COMPUTE:
-            kinds.append(_K_COMPUTE)
-            deltas.append(max(1, op.cycles) * period_ticks)
-        elif kind is OpKind.SHMEM:
-            kinds.append(_K_SHMEM)
-            deltas.append(max(1, op.cycles) * shmem_latency_cycles
-                          * period_ticks)
-        elif kind is OpKind.LOAD:
-            kinds.append(_K_LOAD)
-            deltas.append(0)
-        elif kind is OpKind.STORE:
-            kinds.append(_K_STORE)
-            deltas.append(0)
-        else:
-            kinds.append(_K_OTHER)
-            deltas.append(0)
+    ops = program.ops
+    compute, shmem = OpKind.COMPUTE, OpKind.SHMEM
+    load, store = OpKind.LOAD, OpKind.STORE
+    # identity chain, not a dict: Enum.__hash__ is a python-level call
+    kinds = [_K_COMPUTE if (kind := op.kind) is compute
+             else _K_SHMEM if kind is shmem
+             else _K_LOAD if kind is load
+             else _K_STORE if kind is store
+             else _K_OTHER
+             for op in ops]
+    shmem_ticks = shmem_latency_cycles * period_ticks
+    deltas = [(op.cycles if op.cycles > 1 else 1) * period_ticks
+              if code == _K_COMPUTE else
+              (op.cycles if op.cycles > 1 else 1) * shmem_ticks
+              if code == _K_SHMEM else 0
+              for code, op in zip(kinds, ops)]
     try:
         program._sm_compiled = (key, kinds, deltas)
     except AttributeError:  # slotted/frozen program: recompile per launch
@@ -81,10 +81,18 @@ def _compile_ops(program: WarpProgram, period_ticks: int,
 
 
 class _Warp:
-    """Execution state of one resident warp."""
+    """Execution state of one resident warp.
+
+    ``gate`` collapses the scheduler's three-field readiness test into
+    one comparison: it equals ``ready_tick`` while the warp can issue
+    (not done, no outstanding loads) and :data:`_GATE_BLOCKED`
+    otherwise.  Every path that mutates ``done``/``pending_loads``/
+    ``ready_tick`` restores the invariant before the scheduler can
+    observe the warp again.
+    """
 
     __slots__ = ("ops", "kinds", "deltas", "pc", "num_ops", "ready_tick",
-                 "pending_loads", "done")
+                 "pending_loads", "done", "gate")
 
     def __init__(self, program: WarpProgram, period_ticks: int,
                  shmem_latency_cycles: int) -> None:
@@ -96,6 +104,7 @@ class _Warp:
         self.ready_tick = 0
         self.pending_loads = 0
         self.done = not self.ops
+        self.gate = _GATE_BLOCKED if self.done else 0
 
 
 class StreamingMultiprocessor:
@@ -222,19 +231,17 @@ class StreamingMultiprocessor:
     # ------------------------------------------------------------------
 
     def _ready_warps_exist(self) -> bool:
-        return any(not warp.done and warp.pending_loads == 0
-                   for warp in self._warps)
+        return any(warp.gate < _GATE_BLOCKED for warp in self._warps)
 
     def _schedule_issue(self) -> None:
         if self._issue_scheduled or not self._active:
             return
-        earliest = None
+        earliest = _GATE_BLOCKED
         for warp in self._warps:
-            if not warp.done and warp.pending_loads == 0:
-                tick = warp.ready_tick
-                if earliest is None or tick < earliest:
-                    earliest = tick
-        if earliest is None:
+            tick = warp.gate
+            if tick < earliest:
+                earliest = tick
+        if earliest == _GATE_BLOCKED:
             return  # everyone blocked on memory; returns will re-schedule
         target = max(self._next_issue_tick, earliest,
                      self.queue.current_tick)
@@ -255,18 +262,29 @@ class StreamingMultiprocessor:
         count = len(warps)
         index = self._rr_index
         picked = None
+        earliest = _GATE_BLOCKED
         for _ in range(count):
             warp = warps[index]
             index += 1
             if index == count:
                 index = 0
-            if (not warp.done and warp.pending_loads == 0
-                    and warp.ready_tick <= now):
+            tick = warp.gate
+            if tick <= now:
                 self._rr_index = index
                 picked = warp
                 break
+            if tick < earliest:
+                earliest = tick
         if picked is None:
-            self._schedule_issue()
+            # the full ring was scanned, so `earliest` is the true
+            # minimum gate — inline _schedule_issue without re-scanning
+            if earliest == _GATE_BLOCKED:
+                return  # everyone blocked; load returns will re-schedule
+            target = earliest if earliest > self._next_issue_tick \
+                else self._next_issue_tick
+            self._issue_scheduled = True
+            self.queue.post_at(target if target > now else now,
+                               self._issue)
             return
         pc = picked.pc
         kind = picked.kinds[pc]
@@ -278,9 +296,13 @@ class StreamingMultiprocessor:
         base = now + self._cycle_ticks
         self._next_issue_tick = base
         if kind <= _K_SHMEM:  # COMPUTE or SHMEM: fixed-latency pipes
-            picked.ready_tick = now + picked.deltas[pc]
+            tick = now + picked.deltas[pc]
+            picked.ready_tick = tick
             if picked.done:
+                picked.gate = _GATE_BLOCKED
                 self._maybe_finish()
+            else:
+                picked.gate = tick
         elif kind == _K_LOAD:
             self._do_load(picked, picked.ops[pc], now)
             if picked.done and picked.pending_loads == 0:
@@ -298,16 +320,21 @@ class StreamingMultiprocessor:
         # is the target regardless of the true minimum
         if self._issue_scheduled or not self._active:
             return
-        earliest = None
+        if picked.gate <= base:
+            # the just-issued warp is ready again by the next slot — the
+            # scan below could only confirm `earliest = base`
+            self._issue_scheduled = True
+            self.queue.post_at(base, self._issue)
+            return
+        earliest = _GATE_BLOCKED
         for warp in warps:
-            if not warp.done and warp.pending_loads == 0:
-                tick = warp.ready_tick
-                if tick <= base:
-                    earliest = base
-                    break
-                if earliest is None or tick < earliest:
-                    earliest = tick
-        if earliest is None:
+            tick = warp.gate
+            if tick <= base:
+                earliest = base
+                break
+            if tick < earliest:
+                earliest = tick
+        if earliest == _GATE_BLOCKED:
             return  # everyone blocked on memory; returns will re-schedule
         self._issue_scheduled = True
         self.queue.post_at(earliest if earliest > base else base,
@@ -323,8 +350,7 @@ class StreamingMultiprocessor:
             index += 1
             if index == count:
                 index = 0
-            if (not warp.done and warp.pending_loads == 0
-                    and warp.ready_tick <= now):
+            if warp.gate <= now:
                 self._rr_index = index
                 return warp
         return None
@@ -336,11 +362,13 @@ class StreamingMultiprocessor:
     def _execute(self, warp: _Warp, op: WarpOp, now: int) -> None:
         if op.kind is OpKind.COMPUTE:
             warp.ready_tick = now + max(1, op.cycles) * self._period_ticks
+            warp.gate = _GATE_BLOCKED if warp.done else warp.ready_tick
             return
         if op.kind is OpKind.SHMEM:
             # scratchpad work: fixed-latency pipe, no cache traffic
             cycles = max(1, op.cycles) * self.shmem_latency_cycles
             warp.ready_tick = now + cycles * self._period_ticks
+            warp.gate = _GATE_BLOCKED if warp.done else warp.ready_tick
             return
         if op.kind is OpKind.LOAD:
             self._execute_load(warp, op, now)
@@ -424,9 +452,14 @@ class StreamingMultiprocessor:
                     if warp.done:
                         self._maybe_finish()
                     else:
+                        warp.gate = warp.ready_tick
                         self._schedule_issue()
 
             port.load(pa, _on_fill)
+        if warp.pending_loads or warp.done:
+            warp.gate = _GATE_BLOCKED
+        else:
+            warp.gate = warp.ready_tick
 
     def _full_line_image(self, value: int) -> Dict[int, int]:
         """Word offsets → *value* for a whole line, cached per value."""
@@ -460,6 +493,7 @@ class StreamingMultiprocessor:
                 self._maybe_finish()
 
             self._store_line(port, pa, op.value, _on_store_done)
+        warp.gate = _GATE_BLOCKED if warp.done else warp.ready_tick
 
     def _store_line(self, port: CoherentPort, line_pa: int,
                     value: Optional[int],
@@ -530,9 +564,14 @@ class StreamingMultiprocessor:
                     if warp.done:
                         self._maybe_finish()
                     else:
+                        warp.gate = warp.ready_tick
                         self._schedule_issue()
 
             port.load(pa, _on_fill)
+        if warp.pending_loads or warp.done:
+            warp.gate = _GATE_BLOCKED
+        else:
+            warp.gate = warp.ready_tick
 
     def _store_done(self, _result: AccessResult) -> None:
         """Shared completion callback for fused warp stores."""
@@ -570,6 +609,7 @@ class StreamingMultiprocessor:
             self._outstanding_stores += 1
             self.slice_ports[self.slice_router(pa)].store(
                 pa, value, store_done)
+        warp.gate = _GATE_BLOCKED if warp.done else warp.ready_tick
 
     def _install_l1(self, physical_address: int) -> None:
         """Copy the slice-resident line up into the SM's L1."""

@@ -154,6 +154,10 @@ class ResultCache:
         return (self.directory / fingerprint[:SHARD_PREFIX_LEN]
                 / f"{fingerprint}.json")
 
+    def entry_path(self, fingerprint: str) -> Path:
+        """Where the entry for *fingerprint* lives (or would live)."""
+        return self._entry_path(fingerprint)
+
     def _legacy_path(self, fingerprint: str) -> Path:
         return self.directory / f"{fingerprint}.json"
 

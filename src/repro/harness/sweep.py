@@ -3,14 +3,36 @@
 from __future__ import annotations
 
 import copy
+import itertools
 from dataclasses import dataclass
-from typing import Callable, Iterable, List, Optional
+from typing import (Callable, Dict, Iterable, List, Mapping, Optional,
+                    Sequence)
 
 from repro.core.config import SystemConfig
 from repro.core.protocol_mode import CoherenceMode
 from repro.harness.parallel import ParallelRunner, RunPoint
 from repro.harness.resultcache import ResultCache
 from repro.harness.runner import BenchmarkComparison
+
+
+def expand_grid(axes: Mapping[str, Sequence[object]]
+                ) -> List[Dict[str, object]]:
+    """Ordered cartesian expansion of *axes* into per-point dicts.
+
+    Iteration order is fully deterministic: axes vary in *insertion*
+    order (the first axis is the slowest-moving), and each axis walks
+    its values in the given sequence order — no dependence on hash or
+    dict-internal ordering beyond the caller's own insertion order.
+
+    Edge cases follow the cartesian product: no axes at all yields one
+    empty point (``[{}]``), while any axis with an empty value list
+    yields an empty sweep (``[]``).  Duplicate values are preserved —
+    deduplication is the caller's concern.
+    """
+    names = list(axes)
+    return [dict(zip(names, combo))
+            for combo in itertools.product(*(list(axes[name])
+                                             for name in names))]
 
 
 @dataclass

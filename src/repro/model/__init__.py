@@ -1,0 +1,29 @@
+"""Analytic design-space modeling over the simulator (docs/EXPLORER.md).
+
+``repro.model`` turns thousands of what-if configurations from hours of
+simulation into milliseconds of modeling plus a handful of confirmatory
+runs: a probe-calibrated separable performance model
+(:mod:`~repro.model.calibration`), a first-order silicon budget model
+(:mod:`~repro.model.analytic`), a deterministic Pareto ranking
+(:mod:`~repro.model.pareto`), and the closed-loop explorer that drives
+them (:mod:`~repro.model.explorer`, ``repro explore`` on the CLI).
+"""
+
+from repro.model.analytic import (AnalyticModel, ModeledPoint, area_mm2,
+                                  bandwidth_gbs)
+from repro.model.calibration import (AxisResponse, Calibration,
+                                     ModeCalibration, probe_plan,
+                                     run_profile)
+from repro.model.explorer import (ExplorerReport, ValidatedPoint,
+                                  explore, format_report)
+from repro.model.pareto import pareto_frontier, rank_frontier
+from repro.model.space import (Candidate, DesignAxis, DesignSpace,
+                               default_axes)
+
+__all__ = [
+    "AnalyticModel", "AxisResponse", "Calibration", "Candidate",
+    "DesignAxis", "DesignSpace", "ExplorerReport", "ModeCalibration",
+    "ModeledPoint", "ValidatedPoint", "area_mm2", "bandwidth_gbs",
+    "default_axes", "explore", "format_report", "pareto_frontier",
+    "probe_plan", "rank_frontier", "run_profile",
+]

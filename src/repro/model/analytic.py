@@ -1,0 +1,109 @@
+"""Analytic scoring: predicted ticks plus a first-order budget model.
+
+Performance comes from the calibrated per-axis responses
+(:mod:`repro.model.calibration`); cost comes from a lumos-style silicon
+budget model — area is a linear composition of per-component
+coefficients at a fixed reference node, bandwidth the minimum of link
+and DRAM service capacity.  The absolute numbers are first-order
+bookkeeping (the coefficients below are typical of a 16nm-class
+integrated part, see docs/EXPLORER.md); what the Pareto ranking
+consumes is their *relative* ordering across candidates, which the
+linear form preserves.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from repro.core.config import SystemConfig
+from repro.model.calibration import Calibration
+from repro.model.space import Candidate, DesignSpace
+
+#: silicon area coefficients (mm^2 at the reference node)
+SM_CORE_MM2 = 5.0            # one SM, excluding its L1
+L1_MM2_PER_KIB = 0.08        # per SM, per KiB of L1
+L2_MM2_PER_MIB = 8.0         # shared GPU L2, per MiB
+NOC_MM2_PER_BYTE = 0.05      # crossbar datapath, per byte/cycle of width
+CPU_COMPLEX_MM2 = 12.0       # the fixed CPU + uncore share
+
+#: bandwidth coefficients
+DRAM_GBS_PER_BANK = 3.2      # sustainable per-bank service rate
+
+
+def area_mm2(config: SystemConfig) -> float:
+    """First-order die area of one candidate configuration."""
+    gpu = config.gpu
+    return (CPU_COMPLEX_MM2
+            + gpu.num_sms * (SM_CORE_MM2
+                             + (gpu.l1_size / 1024) * L1_MM2_PER_KIB)
+            + (gpu.l2_size / (1024 * 1024)) * L2_MM2_PER_MIB
+            + config.network.bytes_per_cycle * NOC_MM2_PER_BYTE)
+
+
+def bandwidth_gbs(config: SystemConfig) -> float:
+    """Deliverable bandwidth: min of link capacity and DRAM service."""
+    link = (config.network.bytes_per_cycle
+            * config.gpu.frequency_hz / 1e9)
+    dram = (config.dram.num_channels * config.dram.ranks_per_channel
+            * config.dram.banks_per_rank * DRAM_GBS_PER_BANK)
+    return min(link, dram)
+
+
+@dataclass
+class ModeledPoint:
+    """One analytically scored candidate."""
+
+    candidate: Candidate
+    predicted_ticks: float
+    area_mm2: float
+    bandwidth_gbs: float
+
+    def to_dict(self, space: Optional[DesignSpace] = None) -> Dict:
+        return {
+            "candidate": dict(self.candidate.assignment),
+            "mode": self.candidate.mode.value,
+            "predicted_ticks": round(self.predicted_ticks, 1),
+            "area_mm2": round(self.area_mm2, 2),
+            "bandwidth_gbs": round(self.bandwidth_gbs, 2),
+        }
+
+
+@dataclass
+class ScoreTiming:
+    """Wall-clock accounting for one scoring pass."""
+
+    points: int
+    seconds: float
+
+    @property
+    def points_per_second(self) -> float:
+        return self.points / self.seconds if self.seconds > 0 else 0.0
+
+
+class AnalyticModel:
+    """Scores candidates in microseconds each, once calibrated."""
+
+    def __init__(self, space: DesignSpace,
+                 calibration: Calibration) -> None:
+        self.space = space
+        self.calibration = calibration
+
+    def score_one(self, candidate: Candidate) -> ModeledPoint:
+        mode_calibration = self.calibration.for_mode(candidate.mode)
+        config = candidate.build_config(self.space.axes)
+        return ModeledPoint(
+            candidate=candidate,
+            predicted_ticks=mode_calibration.predict_ticks(candidate),
+            area_mm2=area_mm2(config),
+            bandwidth_gbs=bandwidth_gbs(config))
+
+    def score(self, candidates: Sequence[Candidate]
+              ) -> tuple:
+        """Score every candidate; returns (points, timing)."""
+        start = time.perf_counter()
+        points: List[ModeledPoint] = [self.score_one(candidate)
+                                      for candidate in candidates]
+        elapsed = time.perf_counter() - start
+        return points, ScoreTiming(points=len(points), seconds=elapsed)

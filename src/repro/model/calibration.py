@@ -1,0 +1,283 @@
+"""Calibrating the analytic model from real :class:`RunResult` runs.
+
+The model is **first-order separable**: for one (benchmark, input size,
+coherence mode) it learns, per design axis, how total ticks respond to
+moving that axis alone off the Table I base — a handful of one-at-a-time
+*probe* simulations, every one cached in the shared result cache, so a
+warm calibration costs milliseconds.  A candidate that moves several
+axes at once is predicted by composing the per-axis responses with a
+*saturating* rule (see :meth:`ModeCalibration.predict_ratio`): slowdowns
+on a shared bottleneck overlap rather than stack, so the composition
+takes the largest excess in full and a damped fraction ``beta`` of the
+rest.  ``beta`` is the one free interaction parameter, and the explorer
+refits it from its own validation runs — the closed loop.
+
+Counter-derived diagnostics (memory intensity, hit rates, network and
+DRAM occupancy) are extracted from the baseline run's telemetry
+counters and ride the report so a frontier point can be read in terms
+of *why* it behaves as it does.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.metrics import RunResult
+from repro.core.protocol_mode import CoherenceMode
+from repro.model.space import Candidate, DesignSpace
+
+#: default interaction damping: the largest per-axis excess counts in
+#: full, every further excess at this fraction (0 = pure bottleneck
+#: max, 1 = fully additive excesses)
+DEFAULT_BETA = 0.5
+
+#: a predicted ratio never drops below this — a candidate can only get
+#: so fast before something else becomes the bottleneck
+MIN_RATIO = 0.05
+
+
+@dataclass
+class AxisResponse:
+    """Measured tick ratios for one axis, one (benchmark, mode).
+
+    ``ratios`` maps axis value → ``ticks(value) / ticks(base)`` from the
+    one-at-a-time probe runs (the base value maps to 1.0 by
+    construction).  Off-probe values interpolate piecewise-linearly in
+    log-log space — exact at every probed value, smooth power-law
+    behaviour between them — and clamp to the nearest probe outside the
+    probed range (no extrapolation).
+    """
+
+    axis: str
+    base_value: float
+    ratios: Dict[int, float]
+
+    def ratio(self, value: float) -> float:
+        if value in self.ratios:
+            return self.ratios[value]
+        points = sorted(self.ratios.items())
+        if not points:
+            return 1.0
+        if value <= points[0][0]:
+            return points[0][1]
+        if value >= points[-1][0]:
+            return points[-1][1]
+        for (lo_v, lo_r), (hi_v, hi_r) in zip(points, points[1:]):
+            if lo_v <= value <= hi_v:
+                if lo_v <= 0 or value <= 0 or lo_r <= 0 or hi_r <= 0:
+                    # degenerate: fall back to linear interpolation
+                    t = (value - lo_v) / (hi_v - lo_v)
+                    return lo_r + t * (hi_r - lo_r)
+                t = (math.log(value) - math.log(lo_v)) / \
+                    (math.log(hi_v) - math.log(lo_v))
+                return math.exp(math.log(lo_r)
+                                + t * (math.log(hi_r) - math.log(lo_r)))
+        return 1.0  # unreachable
+
+    def to_dict(self) -> Dict:
+        return {"axis": self.axis, "base_value": self.base_value,
+                "ratios": {str(value): ratio
+                           for value, ratio in sorted(self.ratios.items())}}
+
+
+def run_profile(result: RunResult) -> Dict[str, float]:
+    """Counter-derived diagnostics of one run, for the report.
+
+    All quantities are per-tick intensities or rates, so they are
+    comparable across runs of different lengths.
+    """
+    ticks = max(result.total_ticks, 1)
+    stats = result.stats
+    l1_accesses = sum(value for key, value in stats.items()
+                      if key.startswith("gpu.sm") and
+                      key.endswith(".l1.accesses"))
+    dram_ops = result.dram_reads + result.dram_writes
+    return {
+        "total_ticks": float(result.total_ticks),
+        "gpu_l2_accesses_per_ktick":
+            1000.0 * result.gpu_l2.accesses / ticks,
+        "gpu_l2_miss_rate": result.gpu_l2.miss_rate,
+        "gpu_l1_miss_rate": (result.gpu_l2.accesses / l1_accesses
+                             if l1_accesses else 0.0),
+        "network_messages_per_ktick":
+            1000.0 * result.network_messages / ticks,
+        "network_bytes_per_tick": result.network_bytes / ticks,
+        "dram_ops_per_ktick": 1000.0 * dram_ops / ticks,
+        "dram_row_hit_rate": (stats.get("dram.row_hits", 0.0)
+                              / dram_ops if dram_ops else 0.0),
+        "forwarded_stores": float(result.ds_forwarded_stores),
+    }
+
+
+@dataclass
+class ModeCalibration:
+    """The fitted model for one (benchmark, input size, mode)."""
+
+    mode: CoherenceMode
+    base_ticks: int
+    responses: Dict[str, AxisResponse]
+    beta: float = DEFAULT_BETA
+    profile: Dict[str, float] = field(default_factory=dict)
+
+    # -- prediction ----------------------------------------------------
+
+    def excess_terms(self, candidate: Candidate
+                     ) -> Tuple[float, float, float, float]:
+        """(max_up, sum_up, min_down, sum_down) per-axis tick excesses.
+
+        ``up`` excesses are per-axis slowdowns (``ratio - 1 > 0``),
+        ``down`` excesses speedups; the saturating composition is linear
+        in ``beta`` over these four terms, which is what makes the refit
+        a closed-form least squares.
+        """
+        ups: List[float] = []
+        downs: List[float] = []
+        for name, value in candidate.assignment:
+            response = self.responses.get(name)
+            if response is None:
+                continue
+            excess = response.ratio(value) - 1.0
+            if excess > 0:
+                ups.append(excess)
+            elif excess < 0:
+                downs.append(excess)
+        return (max(ups) if ups else 0.0, sum(ups),
+                min(downs) if downs else 0.0, sum(downs))
+
+    def predict_ratio(self, candidate: Candidate,
+                      beta: Optional[float] = None) -> float:
+        """Predicted ``ticks(candidate) / ticks(baseline)``.
+
+        The largest slowdown excess counts in full; every further
+        slowdown excess is damped by ``beta`` because concurrent
+        slowdowns share the critical path.  Speedup excesses compose
+        symmetrically.
+        """
+        if beta is None:
+            beta = self.beta
+        max_up, sum_up, min_down, sum_down = self.excess_terms(candidate)
+        ratio = (1.0 + max_up + beta * (sum_up - max_up)
+                 + min_down + beta * (sum_down - min_down))
+        return max(ratio, MIN_RATIO)
+
+    def predict_ticks(self, candidate: Candidate,
+                      beta: Optional[float] = None) -> float:
+        return self.base_ticks * self.predict_ratio(candidate, beta)
+
+    # -- refit (the closed loop) ---------------------------------------
+
+    def refit_beta(self, observations: Sequence[Tuple[Candidate, int]]
+                   ) -> float:
+        """Least-squares ``beta`` from validated (candidate, ticks) pairs.
+
+        The predicted ratio is linear in beta —
+        ``ratio = 1 + A + beta * B`` with ``A = max_up + min_down`` and
+        ``B = (sum_up - max_up) + (sum_down - min_down)`` — so the
+        optimum over the observed log-ratio residuals is closed-form.
+        Clamped to [0, 1]; candidates with no interaction term
+        (``B == 0``) carry no information and are skipped.  Returns the
+        new beta (and installs it).
+        """
+        numerator = 0.0
+        denominator = 0.0
+        for candidate, actual_ticks in observations:
+            if actual_ticks <= 0 or self.base_ticks <= 0:
+                continue
+            max_up, sum_up, min_down, sum_down = \
+                self.excess_terms(candidate)
+            linear_a = max_up + min_down
+            linear_b = (sum_up - max_up) + (sum_down - min_down)
+            if abs(linear_b) < 1e-12:
+                continue
+            target = actual_ticks / self.base_ticks - 1.0 - linear_a
+            numerator += linear_b * target
+            denominator += linear_b * linear_b
+        if denominator > 0:
+            self.beta = min(1.0, max(0.0, numerator / denominator))
+        return self.beta
+
+    def to_dict(self) -> Dict:
+        return {
+            "mode": self.mode.value,
+            "base_ticks": self.base_ticks,
+            "beta": self.beta,
+            "responses": {name: response.to_dict()
+                          for name, response in
+                          sorted(self.responses.items())},
+            "profile": dict(self.profile),
+        }
+
+
+def probe_plan(space: DesignSpace
+               ) -> List[Tuple[Candidate, str]]:
+    """The one-at-a-time probe batch that calibrates the model.
+
+    Per mode: one baseline candidate, then one candidate per non-base
+    value of each axis (all other axes held at base).  Returns
+    ``(candidate, axis_name)`` pairs in a deterministic order; an empty
+    axis name marks the baseline probe.  All probes flow through the
+    shared result cache, so repeat calibrations are free.
+    """
+    plan: List[Tuple[Candidate, str]] = []
+    for mode in space.modes:
+        plan.append((space.baseline(mode), ""))
+        for axis in space.axes:
+            for value in axis.values:
+                if value == axis.base:
+                    continue
+                assignment = tuple(
+                    (a.name, value if a.name == axis.name else a.base)
+                    for a in space.axes)
+                plan.append((Candidate(assignment, mode), axis.name))
+    return plan
+
+
+@dataclass
+class Calibration:
+    """Per-mode calibrations for one (benchmark, input size)."""
+
+    code: str
+    input_size: str
+    modes: Dict[CoherenceMode, ModeCalibration]
+
+    @classmethod
+    def from_probe_results(cls, space: DesignSpace, code: str,
+                           input_size: str,
+                           plan: Sequence[Tuple[Candidate, str]],
+                           results: Sequence[RunResult],
+                           beta: float = DEFAULT_BETA) -> "Calibration":
+        """Assemble the fitted model from the probe batch's results."""
+        by_mode: Dict[CoherenceMode, ModeCalibration] = {}
+        base_ticks: Dict[CoherenceMode, int] = {}
+        for (candidate, axis_name), result in zip(plan, results):
+            if not axis_name:
+                base_ticks[candidate.mode] = result.total_ticks
+                by_mode[candidate.mode] = ModeCalibration(
+                    mode=candidate.mode, base_ticks=result.total_ticks,
+                    responses={axis.name: AxisResponse(
+                        axis.name, axis.base, {axis.base: 1.0})
+                        for axis in space.axes},
+                    beta=beta, profile=run_profile(result))
+        for (candidate, axis_name), result in zip(plan, results):
+            if not axis_name:
+                continue
+            calibration = by_mode[candidate.mode]
+            value = candidate.values[axis_name]
+            calibration.responses[axis_name].ratios[value] = (
+                result.total_ticks / max(base_ticks[candidate.mode], 1))
+        return cls(code=code, input_size=input_size, modes=by_mode)
+
+    def for_mode(self, mode: CoherenceMode) -> ModeCalibration:
+        return self.modes[mode]
+
+    def to_dict(self) -> Dict:
+        return {
+            "code": self.code,
+            "input_size": self.input_size,
+            "modes": {mode.value: calibration.to_dict()
+                      for mode, calibration in sorted(
+                          self.modes.items(),
+                          key=lambda item: item[0].value)},
+        }

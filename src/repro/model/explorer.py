@@ -1,0 +1,351 @@
+"""The design-space explorer: calibrate → score → rank → validate → refit.
+
+One :func:`explore` call runs the whole closed loop for a benchmark:
+
+1. **Calibrate** — run the one-at-a-time probe batch (through the
+   parallel harness and the shared result cache, or fanned out to a
+   running ``repro serve`` instance in one ``POST /jobs/batch`` round
+   trip) and fit per-axis tick responses.
+2. **Score** — enumerate a seeded, deterministic candidate sample of
+   the design space and predict every point analytically — microseconds
+   per point against ~seconds per simulation.
+3. **Rank** — compute the (predicted ticks, modeled area) Pareto
+   frontier and order it knee-first.
+4. **Validate** — simulate the top-k frontier points for real; every
+   validated run lands in the sharded result cache with its manifest,
+   and the report carries per-point model-vs-simulator error.
+5. **Refit** — close the loop: refit each mode's interaction
+   coefficient ``beta`` from the validation residuals and report the
+   post-refit error alongside the pre-refit one.
+
+Everything the run produced is returned as an :class:`ExplorerReport`
+(JSON-serialisable via ``to_dict``); two runs with the same inputs and
+seed produce identical reports modulo wall-clock fields.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from statistics import median
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.core.metrics import RunResult
+from repro.core.protocol_mode import CoherenceMode
+from repro.harness.parallel import ParallelRunner, RunPoint
+from repro.harness.resultcache import ResultCache, run_fingerprint
+from repro.model.analytic import AnalyticModel, ModeledPoint, ScoreTiming
+from repro.model.calibration import Calibration, probe_plan
+from repro.model.pareto import pareto_frontier, rank_frontier
+from repro.model.space import Candidate, DesignSpace
+
+#: acceptance bound: the explorer never burns more than this many
+#: simulations confirming a frontier
+MAX_VALIDATIONS = 16
+
+#: timing fields stripped when comparing two reports for equality
+TIMING_FIELDS = ("model_s", "modeled_points_per_s", "calibration_s",
+                 "validation_s")
+
+
+@dataclass
+class ValidatedPoint:
+    """One frontier point confirmed by a real simulation."""
+
+    rank: int
+    point: ModeledPoint
+    actual_ticks: int
+    fingerprint: str
+    cache_entry: Optional[str]
+    manifest: Optional[Dict]
+    predicted_after_refit: Optional[float] = None
+
+    @property
+    def rel_error(self) -> float:
+        """Signed model error: (predicted - actual) / actual."""
+        return ((self.point.predicted_ticks - self.actual_ticks)
+                / self.actual_ticks)
+
+    @property
+    def rel_error_after_refit(self) -> Optional[float]:
+        if self.predicted_after_refit is None:
+            return None
+        return ((self.predicted_after_refit - self.actual_ticks)
+                / self.actual_ticks)
+
+    def to_dict(self) -> Dict:
+        document = self.point.to_dict()
+        document.update({
+            "rank": self.rank,
+            "actual_ticks": self.actual_ticks,
+            "rel_error": round(self.rel_error, 6),
+            "fingerprint": self.fingerprint,
+            "cache_entry": self.cache_entry,
+            "manifest": self.manifest,
+        })
+        if self.predicted_after_refit is not None:
+            document["predicted_ticks_after_refit"] = round(
+                self.predicted_after_refit, 1)
+            document["rel_error_after_refit"] = round(
+                self.rel_error_after_refit, 6)
+        return document
+
+
+@dataclass
+class ExplorerReport:
+    """Everything one :func:`explore` call produced."""
+
+    code: str
+    input_size: str
+    seed: int
+    space_size: int
+    scored_points: int
+    probe_runs: int
+    calibration: Calibration
+    calibration_s: float
+    score_timing: ScoreTiming
+    frontier: List[ModeledPoint]
+    dominated: int
+    validated: List[ValidatedPoint] = field(default_factory=list)
+    validation_s: float = 0.0
+    betas_before_refit: Dict[str, float] = field(default_factory=dict)
+    betas_after_refit: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def median_abs_rel_error(self) -> Optional[float]:
+        if not self.validated:
+            return None
+        return median(abs(point.rel_error) for point in self.validated)
+
+    @property
+    def median_abs_rel_error_after_refit(self) -> Optional[float]:
+        errors = [abs(point.rel_error_after_refit)
+                  for point in self.validated
+                  if point.rel_error_after_refit is not None]
+        return median(errors) if errors else None
+
+    def to_dict(self) -> Dict:
+        return {
+            "code": self.code,
+            "input_size": self.input_size,
+            "seed": self.seed,
+            "space_size": self.space_size,
+            "scored_points": self.scored_points,
+            "model_s": round(self.score_timing.seconds, 4),
+            "modeled_points_per_s": round(
+                self.score_timing.points_per_second, 1),
+            "calibration_s": round(self.calibration_s, 3),
+            "probe_runs": self.probe_runs,
+            "calibration": self.calibration.to_dict(),
+            "pareto": {"scored": self.scored_points,
+                       "frontier": len(self.frontier),
+                       "dominated": self.dominated},
+            "frontier": [dict(point.to_dict(), rank=rank)
+                         for rank, point in enumerate(self.frontier, 1)],
+            "validation": {
+                "validated_points": [point.to_dict()
+                                     for point in self.validated],
+                "validation_s": round(self.validation_s, 3),
+                "median_rel_error": self.median_abs_rel_error,
+                "median_rel_error_after_refit":
+                    self.median_abs_rel_error_after_refit,
+                "betas_before_refit": dict(self.betas_before_refit),
+                "betas_after_refit": dict(self.betas_after_refit),
+            },
+        }
+
+
+def _execute_candidates(candidates: Sequence[Candidate], code: str,
+                        input_size: str, space: DesignSpace,
+                        jobs: Optional[int],
+                        cache: Optional[ResultCache],
+                        client=None,
+                        progress: Optional[Callable[[str], None]] = None,
+                        ) -> Tuple[List[RunResult], List[str]]:
+    """Simulate *candidates*; returns (results, fingerprints) in order.
+
+    With a *client* (a :class:`~repro.serve.client.ServeClient`), the
+    whole batch goes to the server in one ``POST /jobs/batch`` round
+    trip and the job ids — which *are* the run fingerprints — come
+    back with the results.  Otherwise the batch fans out through a
+    cache-aware :class:`ParallelRunner` in this process.
+    """
+    if not candidates:
+        return [], []
+    if client is not None:
+        payloads = [{"code": code, "input_size": input_size,
+                     "mode": candidate.mode.value,
+                     "config": candidate.config_overrides(space.axes)}
+                    for candidate in candidates]
+        submitted = client.submit_many(payloads)
+        fingerprints = [job["job_id"] for job in submitted]
+        results: List[RunResult] = []
+        for index, job_id in enumerate(fingerprints):
+            status = client.wait(job_id)
+            if status["state"] != "done":
+                raise RuntimeError(
+                    f"validation job {job_id} "
+                    f"{status['state']}: {status.get('error')}")
+            results.append(client.run_result(job_id))
+            if progress is not None:
+                progress(candidates[index].label())
+        return results, fingerprints
+    points = [RunPoint(code, input_size, candidate.mode,
+                       candidate.build_config(space.axes))
+              for candidate in candidates]
+    fingerprints = [run_fingerprint(point.code, point.input_size,
+                                    point.mode, point.config)
+                    for point in points]
+    runner = ParallelRunner(jobs=jobs, cache=cache)
+    label_of = {id(point): candidate.label()
+                for point, candidate in zip(points, candidates)}
+
+    def _progress(point: RunPoint) -> None:
+        if progress is not None:
+            progress(label_of[id(point)])
+
+    results = runner.run_points(points, progress=_progress)
+    return results, fingerprints
+
+
+def explore(code: str, input_size: str = "small", points: int = 256,
+            seed: int = 0, top_k: int = 8,
+            space: Optional[DesignSpace] = None,
+            jobs: Optional[int] = None,
+            cache: Optional[ResultCache] = None,
+            client=None, refit: bool = True,
+            progress: Optional[Callable[[str], None]] = None,
+            ) -> ExplorerReport:
+    """Run the full explorer loop for one benchmark; see module docs."""
+    if top_k > MAX_VALIDATIONS:
+        raise ValueError(
+            f"top_k must be <= {MAX_VALIDATIONS} (got {top_k}); the "
+            f"explorer budget is a handful of confirmatory runs")
+    space = space or DesignSpace()
+
+    # 1. calibrate from one-at-a-time probes (cache-served when warm)
+    plan = probe_plan(space)
+    start = time.perf_counter()
+    probe_results, _ = _execute_candidates(
+        [candidate for candidate, _ in plan], code, input_size, space,
+        jobs, cache, client, progress)
+    calibration_s = time.perf_counter() - start
+    calibration = Calibration.from_probe_results(
+        space, code, input_size, plan, probe_results)
+
+    # 2. score a deterministic candidate sample analytically
+    candidates = space.enumerate(max_points=points, seed=seed)
+    model = AnalyticModel(space, calibration)
+    scored, timing = model.score(candidates)
+
+    # 3. Pareto frontier, knee-first ranking
+    frontier, dominated = pareto_frontier(scored)
+    ranked = rank_frontier(frontier)
+
+    betas_before = {mode.value: calibration.for_mode(mode).beta
+                    for mode in space.modes}
+
+    # 4. validate the top-k frontier points with real simulations
+    to_validate = ranked[:top_k]
+    start = time.perf_counter()
+    actual_results, fingerprints = _execute_candidates(
+        [point.candidate for point in to_validate], code, input_size,
+        space, jobs, cache, client, progress)
+    validation_s = time.perf_counter() - start
+    validated: List[ValidatedPoint] = []
+    for rank, (point, result, fingerprint) in enumerate(
+            zip(to_validate, actual_results, fingerprints), 1):
+        cache_entry = None
+        manifest = None
+        if cache is not None:
+            entry = cache.entry_path(fingerprint)
+            if entry.is_file():
+                cache_entry = str(entry)
+                try:
+                    import json
+                    manifest = json.loads(
+                        entry.read_text()).get("manifest")
+                except (OSError, ValueError):
+                    manifest = None
+        if manifest is None:
+            from repro.telemetry.manifest import run_manifest
+            manifest = run_manifest(
+                point.candidate.build_config(space.axes))
+        validated.append(ValidatedPoint(
+            rank=rank, point=point,
+            actual_ticks=result.total_ticks,
+            fingerprint=fingerprint, cache_entry=cache_entry,
+            manifest=manifest))
+
+    # 5. close the loop: refit beta per mode from the residuals
+    betas_after = dict(betas_before)
+    if refit and validated:
+        by_mode: Dict[CoherenceMode,
+                      List[Tuple[Candidate, int]]] = {}
+        for item in validated:
+            by_mode.setdefault(item.point.candidate.mode, []).append(
+                (item.point.candidate, item.actual_ticks))
+        for mode, observations in sorted(
+                by_mode.items(), key=lambda kv: kv[0].value):
+            mode_calibration = calibration.for_mode(mode)
+            betas_after[mode.value] = mode_calibration.refit_beta(
+                observations)
+        for item in validated:
+            item.predicted_after_refit = calibration.for_mode(
+                item.point.candidate.mode).predict_ticks(
+                    item.point.candidate)
+
+    return ExplorerReport(
+        code=code.upper(), input_size=input_size, seed=seed,
+        space_size=space.size, scored_points=len(scored),
+        probe_runs=len(plan), calibration=calibration,
+        calibration_s=calibration_s, score_timing=timing,
+        frontier=ranked, dominated=dominated, validated=validated,
+        validation_s=validation_s,
+        betas_before_refit=betas_before,
+        betas_after_refit=betas_after)
+
+
+def format_report(report: ExplorerReport,
+                  space: Optional[DesignSpace] = None) -> str:
+    """Human-readable frontier report for the CLI."""
+    from repro.harness.reporting import format_table
+    lines = [
+        f"DESIGN-SPACE EXPLORER — {report.code}/{report.input_size}",
+        f"space: {report.space_size} points, scored "
+        f"{report.scored_points} (seed {report.seed}) in "
+        f"{report.score_timing.seconds:.3f}s "
+        f"({report.score_timing.points_per_second:,.0f} points/s); "
+        f"calibration: {report.probe_runs} probe runs, "
+        f"{report.calibration_s:.2f}s",
+        f"frontier: {len(report.frontier)} points "
+        f"({report.dominated} dominated), validated "
+        f"{len(report.validated)} in {report.validation_s:.2f}s",
+        "",
+    ]
+    validated_by_key = {item.point.candidate.key(): item
+                        for item in report.validated}
+    rows = []
+    for rank, point in enumerate(report.frontier, 1):
+        item = validated_by_key.get(point.candidate.key())
+        rows.append((
+            str(rank), point.candidate.label(),
+            f"{point.predicted_ticks / 1e6:,.2f}M",
+            f"{point.area_mm2:.1f}",
+            f"{point.bandwidth_gbs:.0f}",
+            f"{item.actual_ticks / 1e6:,.2f}M" if item else "-",
+            f"{item.rel_error:+.1%}" if item else "-"))
+    lines.append(format_table(
+        ["#", "Candidate", "Model ticks", "Area mm2", "GB/s",
+         "Sim ticks", "Error"], rows))
+    if report.validated:
+        lines.append("")
+        lines.append(
+            f"median |error|: {report.median_abs_rel_error:.1%}"
+            + (f" -> {report.median_abs_rel_error_after_refit:.1%} "
+               f"after refit "
+               f"(beta {report.betas_before_refit} -> "
+               f"{report.betas_after_refit})"
+               if report.median_abs_rel_error_after_refit is not None
+               else ""))
+    return "\n".join(lines)

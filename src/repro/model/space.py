@@ -1,0 +1,191 @@
+"""The explorable design space: axes, candidates, deterministic enumeration.
+
+A :class:`DesignAxis` names one configuration knob (``gpu.num_sms``,
+``network.bytes_per_cycle``, ...) together with the discrete values the
+explorer may assign it and the Table I base value.  A
+:class:`Candidate` is one assignment of every axis plus a coherence
+mode; a :class:`DesignSpace` is the cartesian grid over the axes and
+modes, with a seedable, order-stable enumeration so two explorer runs
+with the same seed always score the same candidates in the same order.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.core.config import SystemConfig
+from repro.core.protocol_mode import CoherenceMode
+from repro.harness.sweep import expand_grid
+
+KIB = 1024
+MIB = 1024 * 1024
+
+
+@dataclass(frozen=True)
+class DesignAxis:
+    """One swept configuration knob.
+
+    ``path`` is a two-level ``section.field`` address into
+    :class:`~repro.core.config.SystemConfig` (the same shape the serve
+    API's config overrides use), ``values`` the discrete grid in
+    ascending order, and ``base`` the Table I default the calibration
+    runs anchor on.  ``base`` must be one of ``values``.
+    """
+
+    name: str
+    path: str
+    values: Tuple[int, ...]
+    base: int
+    unit: str = ""
+
+    def __post_init__(self) -> None:
+        if self.base not in self.values:
+            raise ValueError(
+                f"axis {self.name!r}: base {self.base} not in values "
+                f"{self.values}")
+        if "." not in self.path:
+            raise ValueError(
+                f"axis {self.name!r}: path {self.path!r} must be "
+                f"'section.field'")
+
+    def apply(self, config: SystemConfig, value: Any) -> None:
+        section_name, _, field_name = self.path.partition(".")
+        setattr(getattr(config, section_name), field_name, value)
+
+
+def default_axes() -> Tuple[DesignAxis, ...]:
+    """The budget axes the explorer sweeps by default.
+
+    SM count, L1/L2 geometry, coherence-network link width, and DRAM
+    bank parallelism — each anchored on the paper's Table I value, each
+    spanning a factor of 4–8 around it.
+    """
+    return (
+        DesignAxis("sm_count", "gpu.num_sms", (4, 8, 16, 32), 16),
+        DesignAxis("l1_size", "gpu.l1_size",
+                   (8 * KIB, 16 * KIB, 32 * KIB), 16 * KIB, unit="B"),
+        DesignAxis("l2_size", "gpu.l2_size",
+                   (512 * KIB, 1 * MIB, 2 * MIB, 4 * MIB), 2 * MIB,
+                   unit="B"),
+        DesignAxis("link_width", "network.bytes_per_cycle",
+                   (16, 32, 64, 128), 64, unit="B/cyc"),
+        DesignAxis("dram_banks", "dram.banks_per_rank",
+                   (2, 4, 8, 16), 8),
+    )
+
+
+DEFAULT_MODES: Tuple[CoherenceMode, ...] = (CoherenceMode.CCSM,
+                                            CoherenceMode.DIRECT_STORE)
+
+
+@dataclass(frozen=True)
+class Candidate:
+    """One design point: an assignment per axis plus a coherence mode."""
+
+    assignment: Tuple[Tuple[str, int], ...]  # ((axis_name, value), ...)
+    mode: CoherenceMode
+
+    @property
+    def values(self) -> Dict[str, int]:
+        return dict(self.assignment)
+
+    def key(self) -> Tuple:
+        """Total order over candidates; the explorer's tie-breaker."""
+        return (self.assignment, self.mode.value)
+
+    def label(self) -> str:
+        parts = [f"{name}={value}" for name, value in self.assignment]
+        return f"{'/'.join(parts)} [{self.mode.value}]"
+
+    def build_config(self, axes: Sequence[DesignAxis]) -> SystemConfig:
+        """A fresh harness-default config with this assignment applied.
+
+        The base is ``SystemConfig(track_values=False)`` — identical to
+        the serve API's base — so locally-built and service-built
+        fingerprints agree.
+        """
+        config = SystemConfig(track_values=False)
+        by_name = {axis.name: axis for axis in axes}
+        for name, value in self.assignment:
+            by_name[name].apply(config, value)
+        return config
+
+    def config_overrides(self,
+                         axes: Sequence[DesignAxis]) -> Dict[str, Dict]:
+        """The nested-override form the serve API's ``config`` takes."""
+        by_name = {axis.name: axis for axis in axes}
+        overrides: Dict[str, Dict] = {}
+        for name, value in self.assignment:
+            section, _, field_name = by_name[name].path.partition(".")
+            overrides.setdefault(section, {})[field_name] = value
+        return overrides
+
+
+class DesignSpace:
+    """The cartesian grid over a set of axes and coherence modes."""
+
+    def __init__(self, axes: Optional[Sequence[DesignAxis]] = None,
+                 modes: Optional[Sequence[CoherenceMode]] = None) -> None:
+        self.axes: Tuple[DesignAxis, ...] = tuple(
+            axes if axes is not None else default_axes())
+        self.modes: Tuple[CoherenceMode, ...] = tuple(
+            modes if modes is not None else DEFAULT_MODES)
+        if not self.axes:
+            raise ValueError("design space needs at least one axis")
+        if not self.modes:
+            raise ValueError("design space needs at least one mode")
+        names = [axis.name for axis in self.axes]
+        if len(set(names)) != len(names):
+            raise ValueError(f"duplicate axis names: {names}")
+
+    @property
+    def size(self) -> int:
+        total = len(self.modes)
+        for axis in self.axes:
+            total *= len(axis.values)
+        return total
+
+    def axis(self, name: str) -> DesignAxis:
+        for axis in self.axes:
+            if axis.name == name:
+                return axis
+        raise KeyError(name)
+
+    def baseline(self, mode: CoherenceMode) -> Candidate:
+        return Candidate(tuple((axis.name, axis.base)
+                               for axis in self.axes), mode)
+
+    def _grid(self) -> List[Candidate]:
+        """Every candidate, in deterministic grid order.
+
+        Modes are the slowest-moving axis, then the axes in declaration
+        order (via :func:`~repro.harness.sweep.expand_grid`).
+        """
+        points = expand_grid({axis.name: axis.values
+                              for axis in self.axes})
+        names = [axis.name for axis in self.axes]
+        return [Candidate(tuple((name, point[name]) for name in names),
+                          mode)
+                for mode in self.modes for point in points]
+
+    def enumerate(self, max_points: Optional[int] = None,
+                  seed: int = 0) -> List[Candidate]:
+        """Candidates to score: the full grid, or a seeded sample of it.
+
+        When the grid fits in *max_points* (or no limit is given) the
+        full grid comes back in grid order.  Otherwise a sample of
+        exactly *max_points* distinct grid indices is drawn with
+        ``random.Random(seed)`` and returned in ascending grid order —
+        the same seed always selects the same candidates, and the
+        output order never depends on set/dict iteration.
+        """
+        grid = self._grid()
+        if max_points is None or len(grid) <= max_points:
+            return grid
+        if max_points <= 0:
+            return []
+        rng = random.Random(seed)
+        indices = sorted(rng.sample(range(len(grid)), max_points))
+        return [grid[index] for index in indices]

@@ -10,7 +10,7 @@ from __future__ import annotations
 import http.client
 import json
 import time
-from typing import Any, Dict, Iterator, Optional
+from typing import Any, Dict, Iterable, Iterator, List, Optional
 from urllib.parse import urlsplit
 
 from repro.core.metrics import RunResult
@@ -90,6 +90,17 @@ class ServeClient:
             payload["telemetry"] = telemetry
         return self._request("POST", "/jobs", payload)
 
+    def submit_many(self, payloads: List[Dict[str, Any]]
+                    ) -> List[Dict[str, Any]]:
+        """Submit a batch of points in one ``POST /jobs/batch``.
+
+        Returns one job status document per payload, in submission
+        order; duplicate points share a job id (the run fingerprint).
+        """
+        document = self._request("POST", "/jobs/batch",
+                                 {"jobs": payloads})
+        return document["jobs"]
+
     def status(self, job_id: str) -> Dict[str, Any]:
         return self._request("GET", f"/jobs/{job_id}")
 
@@ -138,6 +149,28 @@ class ServeClient:
                 raise TimeoutError(
                     f"job {job_id} not terminal after timeout")
         return self.status(job_id)
+
+    def wait_many(self, job_ids: Iterable[str],
+                  timeout_s: Optional[float] = None
+                  ) -> Dict[str, Dict[str, Any]]:
+        """Wait for every job id; returns {job_id: final status}.
+
+        Duplicate ids (a deduped batch) are waited on once.  The
+        deadline bounds the whole batch, not each job.
+        """
+        deadline = time.monotonic() + (timeout_s if timeout_s is not None
+                                       else self.timeout_s)
+        statuses: Dict[str, Dict[str, Any]] = {}
+        for job_id in job_ids:
+            if job_id in statuses:
+                continue
+            remaining = deadline - time.monotonic()
+            if remaining <= 0:
+                raise TimeoutError(
+                    f"batch not terminal after timeout; "
+                    f"{job_id} still pending")
+            statuses[job_id] = self.wait(job_id, timeout_s=remaining)
+        return statuses
 
     def submit_and_wait(self, code: str, input_size: str = "small",
                         mode: str = "direct_store",

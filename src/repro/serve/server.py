@@ -5,6 +5,10 @@ Endpoints (see ``docs/SERVICE.md``):
 ``POST /jobs``                submit a point; 202 + job id (the run
                               fingerprint); identical in-flight
                               submissions coalesce onto one execution
+``POST /jobs/batch``          submit up to ``MAX_BATCH_JOBS`` points in
+                              one round trip; the whole batch is
+                              validated before any job is admitted, and
+                              duplicate points coalesce onto one job
 ``GET /jobs/<id>``            job status; ``?watch=1`` streams NDJSON
                               state transitions until terminal
 ``GET /jobs/<id>/result``     the finished ``RunResult`` document
@@ -29,11 +33,14 @@ from repro.serve import httpd
 from repro.serve.httpd import (BadRequest, Request, Response,
                                StreamResponse, error_response,
                                json_response)
-from repro.serve.jobs import JobError, JobState
+from repro.serve.jobs import JobError, JobState, parse_job_payload
 from repro.serve.scheduler import JobScheduler
 
 DEFAULT_HOST = "127.0.0.1"
 DEFAULT_PORT = 8787
+
+#: upper bound on points accepted by one ``POST /jobs/batch``
+MAX_BATCH_JOBS = 64
 
 
 class ReproServer:
@@ -108,6 +115,8 @@ class ReproServer:
             return json_response(200, self.scheduler.stats())
         if segments == ("jobs",) and request.method == "POST":
             return self._submit(request)
+        if segments == ("jobs", "batch") and request.method == "POST":
+            return self._submit_batch(request)
         if len(segments) >= 2 and segments[0] == "jobs":
             job = self.scheduler.get(segments[1])
             if job is None:
@@ -131,6 +140,35 @@ class ReproServer:
         job = self.scheduler.submit_payload(request.json())
         status = 200 if job.state.terminal else 202
         return json_response(status, job.describe())
+
+    def _submit_batch(self, request: Request) -> Response:
+        """Admit a whole batch of points in one round trip.
+
+        Every payload is validated *before* any job is admitted, so a
+        malformed item rejects the batch without side effects.
+        Duplicate points inside the batch coalesce onto one job (the
+        job id is the run fingerprint), so the response may repeat
+        job ids — positions match the submitted order.
+        """
+        document = request.json()
+        if not isinstance(document, dict) or "jobs" not in document:
+            raise JobError('batch payload must be {"jobs": [...]}')
+        payloads = document["jobs"]
+        if not isinstance(payloads, list) or not payloads:
+            raise JobError('"jobs" must be a non-empty list')
+        if len(payloads) > MAX_BATCH_JOBS:
+            raise JobError(f"batch of {len(payloads)} exceeds the "
+                           f"limit of {MAX_BATCH_JOBS} jobs")
+        points = []
+        for index, payload in enumerate(payloads):
+            try:
+                points.append(parse_job_payload(payload))
+            except JobError as exc:
+                raise JobError(f"jobs[{index}]: {exc}") from exc
+        jobs = [self.scheduler.submit(point) for point in points]
+        status = 200 if all(job.state.terminal for job in jobs) else 202
+        return json_response(status,
+                             {"jobs": [job.describe() for job in jobs]})
 
     def _result(self, job) -> Response:
         if job.state is JobState.DONE:

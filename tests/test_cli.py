@@ -70,6 +70,55 @@ class TestTranslate:
         assert "mmap" in output.read_text()
 
 
+class TestCacheCommand:
+    def test_stats_on_empty_cache(self, capsys):
+        assert main(["cache", "stats"]) == 0
+        out = capsys.readouterr().out
+        assert "entries" in out and "0" in out
+
+    def test_stats_json(self, capsys):
+        import json
+        assert main(["cache", "stats", "--json"]) == 0
+        document = json.loads(capsys.readouterr().out)
+        assert document["entries"] == 0
+        assert "directory" in document
+
+    def test_compact_after_population(self, capsys):
+        assert main(["compare", "PT"]) == 0
+        capsys.readouterr()
+        assert main(["cache", "stats"]) == 0
+        assert "2" in capsys.readouterr().out  # both modes cached
+        assert main(["cache", "compact"]) == 0
+        out = capsys.readouterr().out
+        assert "0 entries evicted" in out
+
+    def test_evict_requires_bytes(self, capsys):
+        assert main(["cache", "evict"]) == 2
+        assert "--bytes" in capsys.readouterr().err
+
+    def test_evict_to_zero_budget(self, capsys):
+        assert main(["compare", "PT"]) == 0
+        capsys.readouterr()
+        assert main(["cache", "evict", "--bytes", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "evicted" in out
+        assert main(["cache", "stats", "--json"]) == 0
+
+
+class TestExploreErrors:
+    def test_unknown_code(self, capsys):
+        assert main(["explore", "ZZ"]) == 2
+        assert "unknown benchmark" in capsys.readouterr().err
+
+    def test_unknown_axis(self, capsys):
+        assert main(["explore", "VA", "--axes", "warp_width"]) == 2
+        assert "unknown axis" in capsys.readouterr().err
+
+    def test_top_k_over_budget(self, capsys):
+        assert main(["explore", "VA", "--top-k", "17"]) == 2
+        assert "top_k" in capsys.readouterr().err
+
+
 class TestArgumentErrors:
     def test_no_command(self):
         with pytest.raises(SystemExit):

@@ -14,7 +14,7 @@ from repro.harness.experiments import (
 )
 from repro.harness.reporting import ascii_bar_chart, format_table
 from repro.harness.runner import compare_modes, run_benchmark
-from repro.harness.sweep import sweep_config
+from repro.harness.sweep import expand_grid, sweep_config
 
 
 def small_config(tiny_config):
@@ -77,6 +77,48 @@ class TestExperiments:
                 progress=seen.append)
         assert seen == ["VA"]
 
+    def test_duplicate_codes_yield_equal_rows(self, tiny_config):
+        rows = figure4("small", small_config(tiny_config),
+                       codes=["VA", "VA"])
+        assert [row.code for row in rows] == ["VA", "VA"]
+        assert rows[0].speedup == rows[1].speedup
+
+    def test_figure5_duplicate_codes(self, tiny_config):
+        rows = figure5("small", small_config(tiny_config),
+                       codes=["PT", "PT"])
+        assert rows[0] == rows[1]
+
+    def test_geomean_nonzero_empty_rows(self):
+        assert geomean_nonzero_speedup([]) == 1.0
+
+    def test_geomean_miss_rates_empty_rows(self):
+        assert geomean_miss_rates([]) == (0.0, 0.0)
+
+
+class TestExpandGrid:
+    def test_insertion_order_expansion(self):
+        grid = expand_grid({"a": [1, 2], "b": ["x", "y"]})
+        assert grid == [{"a": 1, "b": "x"}, {"a": 1, "b": "y"},
+                        {"a": 2, "b": "x"}, {"a": 2, "b": "y"}]
+
+    def test_first_axis_is_slowest_moving(self):
+        grid = expand_grid({"slow": [1, 2], "fast": [10, 20, 30]})
+        assert [point["slow"] for point in grid] == [1, 1, 1, 2, 2, 2]
+
+    def test_no_axes_yields_one_empty_point(self):
+        assert expand_grid({}) == [{}]
+
+    def test_empty_axis_yields_empty_sweep(self):
+        assert expand_grid({"a": [1, 2], "b": []}) == []
+
+    def test_duplicate_values_are_preserved(self):
+        grid = expand_grid({"a": [1, 1]})
+        assert grid == [{"a": 1}, {"a": 1}]
+
+    def test_single_axis(self):
+        assert expand_grid({"a": [3, 1, 2]}) == \
+            [{"a": 3}, {"a": 1}, {"a": 2}]
+
 
 class TestSweep:
     def test_sweep_applies_values(self, tiny_config):
@@ -85,6 +127,38 @@ class TestSweep:
             lambda cfg, v: setattr(cfg.network, "ds_latency_cycles", v))
         assert [p.value for p in points] == [4, 16]
         assert all(p.speedup > 0 for p in points)
+
+    def test_empty_values_run_nothing(self):
+        assert sweep_config(
+            "VA", "small", [],
+            lambda cfg, v: setattr(cfg.network,
+                                   "ds_latency_cycles", v)) == []
+
+    def test_duplicate_values_yield_equal_points(self, tiny_config):
+        points = sweep_config(
+            "VA", "small", [8, 8],
+            lambda cfg, v: setattr(cfg.network, "ds_latency_cycles", v),
+            config=small_config(tiny_config))
+        assert len(points) == 2
+        assert points[0].speedup == points[1].speedup
+        assert points[0].label == points[1].label
+
+    def test_single_value_sweep(self, tiny_config):
+        points = sweep_config(
+            "VA", "small", [4],
+            lambda cfg, v: setattr(cfg.network, "ds_latency_cycles", v),
+            config=small_config(tiny_config), label="latency")
+        assert len(points) == 1
+        assert points[0].label == "latency=4"
+
+    def test_base_config_is_not_mutated(self, tiny_config):
+        config = small_config(tiny_config)
+        before = config.network.ds_latency_cycles
+        sweep_config(
+            "VA", "small", [before + 7],
+            lambda cfg, v: setattr(cfg.network, "ds_latency_cycles", v),
+            config=config)
+        assert config.network.ds_latency_cycles == before
 
 
 class TestReporting:

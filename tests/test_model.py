@@ -1,0 +1,333 @@
+"""Tests for the design-space explorer (repro.model)."""
+
+import math
+import random
+
+import pytest
+
+from repro.core.protocol_mode import CoherenceMode
+from repro.harness.resultcache import ResultCache
+from repro.model import (explore, format_report, pareto_frontier,
+                         rank_frontier)
+from repro.model.analytic import ModeledPoint, area_mm2, bandwidth_gbs
+from repro.model.calibration import (DEFAULT_BETA, MIN_RATIO,
+                                     AxisResponse, ModeCalibration,
+                                     probe_plan)
+from repro.model.explorer import MAX_VALIDATIONS, TIMING_FIELDS
+from repro.model.space import (Candidate, DesignAxis, DesignSpace,
+                               default_axes)
+
+
+def two_axis(name_a="alpha", name_b="beta_axis"):
+    return (DesignAxis(name_a, "gpu.num_sms", (4, 8, 16), 8),
+            DesignAxis(name_b, "network.bytes_per_cycle",
+                       (16, 32, 64), 32))
+
+
+class TestDesignAxis:
+    def test_base_must_be_a_value(self):
+        with pytest.raises(ValueError, match="base"):
+            DesignAxis("x", "gpu.num_sms", (4, 8), 16)
+
+    def test_path_must_be_two_level(self):
+        with pytest.raises(ValueError, match="section.field"):
+            DesignAxis("x", "num_sms", (4, 8), 4)
+
+    def test_apply_sets_nested_field(self):
+        axis = default_axes()[0]
+        candidate = Candidate(((axis.name, 32),), CoherenceMode.CCSM)
+        config = candidate.build_config([axis])
+        assert config.gpu.num_sms == 32
+
+    def test_overrides_match_built_config(self):
+        axes = default_axes()
+        candidate = Candidate(
+            tuple((axis.name, axis.values[0]) for axis in axes),
+            CoherenceMode.DIRECT_STORE)
+        overrides = candidate.config_overrides(axes)
+        config = candidate.build_config(axes)
+        for axis in axes:
+            section, _, field_name = axis.path.partition(".")
+            assert overrides[section][field_name] == \
+                getattr(getattr(config, section), field_name)
+
+
+class TestDesignSpace:
+    def test_duplicate_axis_names_rejected(self):
+        axis = default_axes()[0]
+        with pytest.raises(ValueError, match="duplicate"):
+            DesignSpace((axis, axis))
+
+    def test_size_counts_modes(self):
+        space = DesignSpace(two_axis(), (CoherenceMode.CCSM,
+                                         CoherenceMode.DIRECT_STORE))
+        assert space.size == 3 * 3 * 2
+
+    def test_full_grid_when_it_fits(self):
+        space = DesignSpace(two_axis(), (CoherenceMode.CCSM,))
+        grid = space.enumerate(max_points=100)
+        assert len(grid) == 9
+        assert grid == space.enumerate(max_points=None)
+
+    def test_same_seed_same_sample(self):
+        space = DesignSpace(two_axis())
+        first = space.enumerate(max_points=5, seed=7)
+        second = space.enumerate(max_points=5, seed=7)
+        assert first == second
+        assert len(first) == 5
+
+    def test_different_seed_different_sample(self):
+        space = DesignSpace(two_axis())
+        assert space.enumerate(max_points=5, seed=1) != \
+            space.enumerate(max_points=5, seed=2)
+
+    def test_sample_preserves_grid_order(self):
+        space = DesignSpace(two_axis())
+        grid = space.enumerate()
+        sample = space.enumerate(max_points=6, seed=3)
+        positions = [grid.index(candidate) for candidate in sample]
+        assert positions == sorted(positions)
+
+    def test_baseline_holds_every_axis_at_base(self):
+        space = DesignSpace(two_axis(), (CoherenceMode.CCSM,))
+        baseline = space.baseline(CoherenceMode.CCSM)
+        assert baseline.values == {"alpha": 8, "beta_axis": 32}
+
+
+class TestAxisResponse:
+    def test_exact_at_probed_values(self):
+        response = AxisResponse("x", 8, {4: 2.0, 8: 1.0, 16: 0.8})
+        assert response.ratio(4) == 2.0
+        assert response.ratio(16) == 0.8
+
+    def test_log_log_interpolation(self):
+        response = AxisResponse("x", 16, {4: 2.0, 16: 1.0})
+        # 8 is the log-midpoint of [4, 16], so the interpolated ratio
+        # is the geometric mean of the endpoint ratios
+        assert response.ratio(8) == pytest.approx(math.sqrt(2.0))
+
+    def test_clamps_outside_probed_range(self):
+        response = AxisResponse("x", 8, {4: 2.0, 16: 0.8})
+        assert response.ratio(1) == 2.0
+        assert response.ratio(64) == 0.8
+
+
+class TestModeCalibration:
+    def calibration(self, beta=DEFAULT_BETA):
+        return ModeCalibration(
+            mode=CoherenceMode.CCSM, base_ticks=1_000_000,
+            responses={
+                "alpha": AxisResponse("alpha", 8,
+                                      {4: 1.4, 8: 1.0, 16: 0.9}),
+                "beta_axis": AxisResponse("beta_axis", 32,
+                                          {16: 1.2, 32: 1.0, 64: 0.95}),
+            },
+            beta=beta)
+
+    def test_single_axis_prediction_is_the_probe(self):
+        calibration = self.calibration()
+        candidate = Candidate((("alpha", 4), ("beta_axis", 32)),
+                              CoherenceMode.CCSM)
+        assert calibration.predict_ticks(candidate) == \
+            pytest.approx(1_400_000)
+
+    def test_saturating_composition(self):
+        calibration = self.calibration(beta=0.5)
+        candidate = Candidate((("alpha", 4), ("beta_axis", 16)),
+                              CoherenceMode.CCSM)
+        # largest excess (0.4) in full, the other (0.2) damped by beta
+        assert calibration.predict_ratio(candidate) == \
+            pytest.approx(1.0 + 0.4 + 0.5 * 0.2)
+
+    def test_ratio_floor(self):
+        calibration = ModeCalibration(
+            mode=CoherenceMode.CCSM, base_ticks=1000,
+            responses={"alpha": AxisResponse("alpha", 8, {16: 0.01})})
+        candidate = Candidate((("alpha", 16),), CoherenceMode.CCSM)
+        assert calibration.predict_ratio(candidate) == MIN_RATIO
+
+    def test_refit_recovers_known_beta(self):
+        truth = self.calibration(beta=0.3)
+        fitted = self.calibration(beta=0.9)
+        observations = []
+        for assignment in [(("alpha", 4), ("beta_axis", 16)),
+                           (("alpha", 16), ("beta_axis", 64)),
+                           (("alpha", 4), ("beta_axis", 64))]:
+            candidate = Candidate(assignment, CoherenceMode.CCSM)
+            observations.append(
+                (candidate, round(truth.predict_ticks(candidate))))
+        assert fitted.refit_beta(observations) == pytest.approx(
+            0.3, abs=0.01)
+
+    def test_refit_skips_uninformative_points(self):
+        calibration = self.calibration(beta=0.7)
+        # one active axis -> no interaction term -> no information
+        candidate = Candidate((("alpha", 4), ("beta_axis", 32)),
+                              CoherenceMode.CCSM)
+        assert calibration.refit_beta([(candidate, 2_000_000)]) == 0.7
+
+    def test_refit_clamps_to_unit_interval(self):
+        calibration = self.calibration(beta=0.5)
+        candidate = Candidate((("alpha", 4), ("beta_axis", 16)),
+                              CoherenceMode.CCSM)
+        assert calibration.refit_beta([(candidate, 10_000_000)]) == 1.0
+        calibration.beta = 0.5
+        assert calibration.refit_beta([(candidate, 1_000)]) == 0.0
+
+
+class TestProbePlan:
+    def test_one_at_a_time_coverage(self):
+        space = DesignSpace(two_axis(), (CoherenceMode.CCSM,
+                                         CoherenceMode.DIRECT_STORE))
+        plan = probe_plan(space)
+        # per mode: 1 baseline + 2 off-base values per axis
+        assert len(plan) == 2 * (1 + 2 + 2)
+        for candidate, axis_name in plan:
+            off_base = [name for name, value in candidate.assignment
+                        if value != space.axis(name).base]
+            assert off_base == ([axis_name] if axis_name else [])
+
+
+def modeled(ticks, area, sms=8, mode=CoherenceMode.CCSM):
+    candidate = Candidate((("alpha", sms),), mode)
+    return ModeledPoint(candidate, float(ticks), float(area), 50.0)
+
+
+class TestPareto:
+    def test_dominated_points_are_dropped(self):
+        points = [modeled(100, 10, sms=4), modeled(90, 20, sms=8),
+                  modeled(110, 30, sms=16)]  # dominated by both
+        frontier, dominated = pareto_frontier(points)
+        assert dominated == 1
+        assert {p.predicted_ticks for p in frontier} == {100, 90}
+
+    def test_shuffle_invariance(self):
+        rng = random.Random(11)
+        points = [modeled(rng.randrange(50, 150) * 10,
+                          rng.randrange(10, 100), sms=sms, mode=mode)
+                  for sms in (4, 8, 16)
+                  for mode in (CoherenceMode.CCSM,
+                               CoherenceMode.DIRECT_STORE)]
+        baseline = rank_frontier(pareto_frontier(points)[0])
+        for _ in range(5):
+            rng.shuffle(points)
+            shuffled = rank_frontier(pareto_frontier(points)[0])
+            assert shuffled == baseline
+
+    def test_no_frontier_point_dominates_another(self):
+        rng = random.Random(5)
+        points = [modeled(rng.randrange(1, 50), rng.randrange(1, 50),
+                          sms=sms)
+                  for sms in range(1, 20)]
+        frontier, _ = pareto_frontier(points)
+        for a in frontier:
+            for b in frontier:
+                dominates = (a.predicted_ticks <= b.predicted_ticks
+                             and a.area_mm2 <= b.area_mm2
+                             and (a.predicted_ticks < b.predicted_ticks
+                                  or a.area_mm2 < b.area_mm2))
+                assert not dominates
+
+    def test_objective_identical_twins_both_stay(self):
+        twins = [modeled(100, 10, sms=4), modeled(100, 10, sms=8)]
+        frontier, dominated = pareto_frontier(twins)
+        assert len(frontier) == 2
+        assert dominated == 0
+
+    def test_rank_is_knee_first(self):
+        corner_fast = modeled(10, 100, sms=4)
+        corner_small = modeled(100, 10, sms=8)
+        knee = modeled(20, 20, sms=16)
+        ranked = rank_frontier([corner_fast, corner_small, knee])
+        assert ranked[0] is knee
+
+    def test_empty_frontier(self):
+        assert pareto_frontier([]) == ([], 0)
+        assert rank_frontier([]) == []
+
+
+class TestBudgetModel:
+    def test_area_is_monotone_in_each_axis(self):
+        axes = default_axes()
+        base = DesignSpace(axes).baseline(CoherenceMode.CCSM)
+        base_area = area_mm2(base.build_config(axes))
+        for axis in axes:
+            if axis.name == "dram_banks":
+                continue  # banks cost bandwidth, not area
+            grown = Candidate(
+                tuple((name, axis.values[-1] if name == axis.name
+                       else value)
+                      for name, value in base.assignment),
+                CoherenceMode.CCSM)
+            if axis.values[-1] != axis.base:
+                assert area_mm2(grown.build_config(axes)) > base_area
+
+    def test_bandwidth_is_min_of_link_and_dram(self):
+        axes = default_axes()
+        space = DesignSpace(axes)
+        narrow = Candidate(
+            tuple((name, 16 if name == "link_width" else value)
+                  for name, value in
+                  space.baseline(CoherenceMode.CCSM).assignment),
+            CoherenceMode.CCSM)
+        few_banks = Candidate(
+            tuple((name, 2 if name == "dram_banks" else value)
+                  for name, value in
+                  space.baseline(CoherenceMode.CCSM).assignment),
+            CoherenceMode.CCSM)
+        base_bw = bandwidth_gbs(
+            space.baseline(CoherenceMode.CCSM).build_config(axes))
+        assert bandwidth_gbs(narrow.build_config(axes)) < base_bw
+        assert bandwidth_gbs(few_banks.build_config(axes)) < base_bw
+
+
+@pytest.fixture(scope="module")
+def explorer_space():
+    """One axis, one mode: 4 probe runs total, everything else cached."""
+    axes = (DesignAxis("sm_count", "gpu.num_sms", (4, 8, 16, 32), 16),)
+    return DesignSpace(axes, (CoherenceMode.DIRECT_STORE,))
+
+
+class TestExplorerLoop:
+    def test_top_k_is_bounded(self):
+        with pytest.raises(ValueError, match=str(MAX_VALIDATIONS)):
+            explore("VA", top_k=MAX_VALIDATIONS + 1)
+
+    def test_end_to_end_and_determinism(self, explorer_space, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        kwargs = dict(points=4, top_k=2, seed=0, space=explorer_space,
+                      cache=cache)
+        report = explore("VA", **kwargs)
+
+        assert report.scored_points == 4
+        assert report.probe_runs == 4
+        assert len(report.validated) == 2
+        for item in report.validated:
+            assert item.actual_ticks > 0
+            assert item.fingerprint
+            assert item.cache_entry  # landed in the shared cache
+            assert item.manifest is not None
+            assert abs(item.rel_error) < 0.5
+        assert report.median_abs_rel_error is not None
+
+        # repeat run: identical report modulo wall-clock fields
+        repeat = explore("VA", **kwargs)
+        first_doc, repeat_doc = report.to_dict(), repeat.to_dict()
+        for doc in (first_doc, repeat_doc):
+            for field_name in TIMING_FIELDS:
+                doc.pop(field_name, None)
+                doc["validation"].pop(field_name, None)
+        assert first_doc == repeat_doc
+
+        text = format_report(repeat)
+        assert "DESIGN-SPACE EXPLORER" in text
+        assert "median |error|" in text
+
+    def test_validations_hit_the_cache(self, explorer_space, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        explore("VA", points=4, top_k=2, space=explorer_space,
+                cache=cache)
+        misses = cache.misses
+        explore("VA", points=4, top_k=2, space=explorer_space,
+                cache=cache)
+        assert cache.misses == misses  # warm run simulates nothing

@@ -345,6 +345,69 @@ class TestServiceIntegration:
             client.cancel(blocker["job_id"])
 
 
+class TestBatchSubmission:
+    """POST /jobs/batch: one round trip, dedupe, all-or-nothing."""
+
+    def test_submit_many_round_trip(self, live_client):
+        payloads = [
+            {"code": "VA", "mode": "direct_store", "config": TINY_CONFIG},
+            {"code": "VA", "mode": "ccsm", "config": TINY_CONFIG},
+        ]
+        jobs = live_client.submit_many(payloads)
+        assert len(jobs) == 2
+        ids = [job["job_id"] for job in jobs]
+        assert ids[0] != ids[1]  # different points, different prints
+        statuses = live_client.wait_many(ids)
+        assert set(statuses) == set(ids)
+        assert all(s["state"] == "done" for s in statuses.values())
+        assert live_client.run_result(ids[0]).total_ticks > 0
+
+    def test_duplicates_in_batch_coalesce(self, live_client):
+        point = {"code": "PT", "mode": "direct_store",
+                 "config": TINY_CONFIG}
+        before = live_client.stats()["simulations_run"]
+        jobs = live_client.submit_many([point, point, point])
+        ids = [job["job_id"] for job in jobs]
+        assert len(set(ids)) == 1  # one fingerprint, one job
+        statuses = live_client.wait_many(ids)
+        assert len(statuses) == 1  # waited once
+        assert statuses[ids[0]]["state"] == "done"
+        assert live_client.stats()["simulations_run"] <= before + 1
+
+    def test_bad_item_admits_nothing(self, live_client):
+        before = live_client.stats()["jobs"]["total"]
+        with pytest.raises(ServiceError) as bad:
+            live_client.submit_many([
+                {"code": "VA", "config": TINY_CONFIG},
+                {"code": "NOPE"},
+            ])
+        assert bad.value.status == 400
+        assert "jobs[1]" in bad.value.message
+        assert live_client.stats()["jobs"]["total"] == before
+
+    def test_batch_shape_and_size_limits(self, live_client):
+        from repro.serve.server import MAX_BATCH_JOBS
+        with pytest.raises(ServiceError):
+            live_client.submit_many([])
+        with pytest.raises(ServiceError) as oversize:
+            live_client.submit_many(
+                [{"code": "VA"}] * (MAX_BATCH_JOBS + 1))
+        assert str(MAX_BATCH_JOBS) in oversize.value.message
+        with pytest.raises(ServiceError) as shapeless:
+            live_client._request("POST", "/jobs/batch", {"points": []})
+        assert shapeless.value.status == 400
+
+    def test_all_terminal_batch_returns_200(self, live_client):
+        point = {"code": "VA", "mode": "direct_store",
+                 "config": TINY_CONFIG}
+        live_client.submit_many([point])
+        live_client.wait_many(
+            [job["job_id"] for job in live_client.submit_many([point])])
+        # every job in this batch is now a completed-dedupe hit
+        jobs = live_client.submit_many([point, point])
+        assert all(job["state"] == "done" for job in jobs)
+
+
 class TestCliIntegration:
     def test_submit_command_round_trip(self, live_server, capsys):
         from repro.cli import main
