@@ -14,6 +14,7 @@ Subcommands:
 ``cache``      result-cache maintenance (stats / compact / evict)
 ``serve``      long-running simulation job server (docs/SERVICE.md)
 ``submit``     submit one job to a running server and await the result
+``top``        live terminal dashboard over a server's ``/metrics``
 """
 
 from __future__ import annotations
@@ -211,6 +212,25 @@ def _parser() -> argparse.ArgumentParser:
         "--cache-bytes", type=int, default=None, metavar="BYTES",
         help="evict oldest entries beyond this budget (default: "
              "REPRO_CACHE_BYTES or unbounded)")
+    serve.add_argument(
+        "--log-json", action="store_true",
+        help="emit structured JSON logs on stderr (same as "
+             "REPRO_LOG=json; see docs/OBSERVABILITY.md)")
+
+    top = sub.add_parser(
+        "top", help="live dashboard over a running server's /metrics")
+    top.add_argument(
+        "--url", default="http://127.0.0.1:8787",
+        help="server base URL (default http://127.0.0.1:8787)")
+    top.add_argument(
+        "--interval", type=float, default=2.0, metavar="SECONDS",
+        help="refresh interval (default 2.0)")
+    top.add_argument(
+        "--iterations", type=int, default=None, metavar="N",
+        help="stop after N frames (default: run until Ctrl-C)")
+    top.add_argument(
+        "--no-clear", action="store_true",
+        help="append frames instead of repainting (logs, pipes)")
 
     submit = sub.add_parser(
         "submit", help="submit one job to a running server")
@@ -472,10 +492,18 @@ def _cmd_cache(args) -> int:
     from repro.harness.resultcache import ResultCache
     cache = ResultCache(args.cache_dir or None)
     if args.action == "stats":
-        stats = cache.scan()
+        from repro.metrics import REGISTRY
+        from repro.metrics import names as metric_names
+        stats = cache.scan()  # also refreshes the cache gauges
+        # same names as GET /metrics — one naming source, no drift
+        metrics = {}
+        for name in metric_names.CACHE_FAMILIES:
+            family = REGISTRY.get(name)
+            metrics[name] = family.labels().value if family else 0.0
         if args.json:
             print(json.dumps(dict(stats.to_dict(),
-                                  directory=str(cache.directory)),
+                                  directory=str(cache.directory),
+                                  metrics=metrics),
                              indent=2))
         else:
             print(format_table(["Cache", "Value"], [
@@ -485,7 +513,8 @@ def _cmd_cache(args) -> int:
                 ("shard dirs", str(stats.shard_dirs)),
                 ("legacy flat entries", str(stats.legacy_entries)),
                 ("stale temp files", str(stats.stale_tmp)),
-            ]))
+            ] + [(name, f"{value:g}")
+                 for name, value in metrics.items()]))
         return 0
     if args.action == "evict" and args.bytes is None:
         raise ValueError("cache evict requires --bytes N")
@@ -505,6 +534,9 @@ def _cmd_serve(args) -> int:
     from repro.harness.resultcache import ResultCache
     from repro.serve.scheduler import TIMEOUT_ENV
     from repro.serve.server import run_server
+    if args.log_json:
+        from repro import obslog
+        obslog.configure("json")
     if args.no_cache:
         cache = None
     else:
@@ -561,6 +593,24 @@ def _cmd_submit(args) -> int:
     return 0
 
 
+def _cmd_top(args) -> int:
+    from repro.serve.client import ServeClient, ServiceError
+    from repro.serve.top import run_top
+    base = ServeClient.from_url(args.url)
+    try:
+        return run_top(base.host, base.port,
+                       interval_s=max(0.1, args.interval),
+                       iterations=args.iterations,
+                       clear=not args.no_clear)
+    except ServiceError as exc:
+        print(f"repro top: {exc}", file=sys.stderr)
+        return 1
+    except ConnectionError:
+        print(f"repro top: cannot reach {args.url} — is "
+              f"'python -m repro serve' running?", file=sys.stderr)
+        return 1
+
+
 _COMMANDS = {
     "run": _cmd_run,
     "compare": _cmd_compare,
@@ -574,6 +624,7 @@ _COMMANDS = {
     "cache": _cmd_cache,
     "serve": _cmd_serve,
     "submit": _cmd_submit,
+    "top": _cmd_top,
 }
 
 

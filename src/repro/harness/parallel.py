@@ -21,6 +21,7 @@ are ever dispatched.
 from __future__ import annotations
 
 import os
+import time
 from dataclasses import dataclass
 from typing import Callable, List, Optional, Sequence, Tuple
 
@@ -29,10 +30,20 @@ from repro.core.metrics import RunResult
 from repro.core.protocol_mode import CoherenceMode
 from repro.harness.resultcache import ResultCache
 from repro.harness.runner import BenchmarkComparison, run_benchmark
+from repro.metrics import REGISTRY
+from repro.metrics import names as metric_names
 from repro.telemetry import TelemetrySettings
 
 #: environment override for the default worker count
 JOBS_ENV = "REPRO_JOBS"
+
+#: process-wide service metrics: how batches resolve their points
+_METRIC_POINTS = metric_names.declare(REGISTRY,
+                                      metric_names.RUNNER_POINTS)
+_METRIC_BATCHES = metric_names.declare(REGISTRY,
+                                       metric_names.RUNNER_BATCHES)
+_METRIC_BATCH_SECONDS = metric_names.declare(
+    REGISTRY, metric_names.RUNNER_BATCH_SECONDS)
 
 
 @dataclass
@@ -115,12 +126,14 @@ class ParallelRunner:
         crashed worker surfaces as :class:`WorkerError` naming the
         failing point.
         """
+        start = time.perf_counter()
         results: List[Optional[RunResult]] = [None] * len(points)
         pending: List[Tuple[int, RunPoint]] = []
         for index, point in enumerate(points):
             cached = self._cache_get(point)
             if cached is not None:
                 results[index] = cached
+                _METRIC_POINTS.labels(source="cache").inc()
                 if progress is not None:
                     progress(point)
             else:
@@ -131,6 +144,8 @@ class ParallelRunner:
                 self._run_serial(pending, results, progress)
             else:
                 self._run_pool(pending, results, progress)
+        _METRIC_BATCHES.inc()
+        _METRIC_BATCH_SECONDS.observe(time.perf_counter() - start)
         return results  # type: ignore[return-value]
 
     def compare_many(self, codes: Sequence[str], input_size: str,
@@ -179,9 +194,11 @@ class ParallelRunner:
 
     def _finish(self, index: int, point: RunPoint, result: RunResult,
                 results: List[Optional[RunResult]],
-                progress: Optional[Callable[[RunPoint], None]]) -> None:
+                progress: Optional[Callable[[RunPoint], None]],
+                source: str = "serial") -> None:
         results[index] = result
         self._cache_put(point, result)
+        _METRIC_POINTS.labels(source=source).inc()
         if progress is not None:
             progress(point)
 
@@ -222,7 +239,8 @@ class ParallelRunner:
                         raise
                     except Exception as exc:
                         raise WorkerError(point, exc) from exc
-                    self._finish(index, point, result, results, progress)
+                    self._finish(index, point, result, results, progress,
+                                 source="pool")
         except WorkerError:
             raise
         except (OSError, RuntimeError):
@@ -238,7 +256,8 @@ class ParallelRunner:
                     result = future.result()
                 except Exception:
                     continue  # re-dispatched below; runs are idempotent
-                self._finish(index, point, result, results, progress)
+                self._finish(index, point, result, results, progress,
+                             source="pool")
             unfinished = [(index, point) for index, point in pending
                           if results[index] is None]
             if not unfinished:

@@ -48,6 +48,8 @@ from typing import Iterator, List, Optional, Union
 from repro.core.config import SystemConfig
 from repro.core.metrics import RunResult
 from repro.core.protocol_mode import CoherenceMode
+from repro.metrics import REGISTRY
+from repro.metrics import names as metric_names
 from repro.telemetry import TelemetrySettings
 from repro.telemetry.manifest import run_manifest
 
@@ -73,6 +75,24 @@ STALE_TMP_SECONDS = 600.0
 #: per-process sequence for unique temp names (pid alone is not enough:
 #: one process may write the same fingerprint from several threads)
 _TMP_COUNTER = itertools.count()
+
+#: process-wide service metrics (docs/OBSERVABILITY.md); per-instance
+#: hit/miss attributes stay — they scope one cache object, these
+#: aggregate the process
+_METRIC_HITS = metric_names.declare(REGISTRY, metric_names.CACHE_HITS)
+_METRIC_MISSES = metric_names.declare(REGISTRY,
+                                      metric_names.CACHE_MISSES)
+_METRIC_PUTS = metric_names.declare(REGISTRY, metric_names.CACHE_PUTS)
+_METRIC_EVICTIONS = metric_names.declare(REGISTRY,
+                                         metric_names.CACHE_EVICTIONS)
+_METRIC_COMPACTIONS = metric_names.declare(
+    REGISTRY, metric_names.CACHE_COMPACTIONS)
+_METRIC_ENTRIES = metric_names.declare(REGISTRY,
+                                       metric_names.CACHE_ENTRIES)
+_METRIC_DISK_BYTES = metric_names.declare(REGISTRY,
+                                          metric_names.CACHE_DISK_BYTES)
+_METRIC_ENTRY_BYTES = metric_names.declare(
+    REGISTRY, metric_names.CACHE_ENTRY_BYTES)
 
 
 def config_fingerprint_payload(config: SystemConfig) -> dict:
@@ -204,12 +224,14 @@ class ResultCache:
                 path.unlink(missing_ok=True)
                 continue
             self.hits += 1
+            _METRIC_HITS.inc()
             try:
                 os.utime(path)  # mark recently-used for LRU eviction
             except OSError:
                 pass
             return result
         self.misses += 1
+        _METRIC_MISSES.inc()
         return None
 
     def put(self, code: str, input_size: str, mode: CoherenceMode,
@@ -235,8 +257,11 @@ class ResultCache:
         # writers finishing the same fingerprint never interleave
         tmp = path.with_name(
             f"{fingerprint}.{os.getpid()}.{next(_TMP_COUNTER)}.tmp")
-        tmp.write_text(json.dumps(document))
+        entry_text = json.dumps(document)
+        tmp.write_text(entry_text)
         tmp.replace(path)
+        _METRIC_PUTS.inc()
+        _METRIC_ENTRY_BYTES.observe(len(entry_text))
         if self.byte_budget is not None:
             self.compact()
         return path
@@ -262,6 +287,8 @@ class ResultCache:
                 shard_dirs.add(path.parent.name)
         stale_tmp = sum(1 for tmp in self._iter_tmp()
                         if self._tmp_is_stale(tmp))
+        _METRIC_ENTRIES.set(entries)
+        _METRIC_DISK_BYTES.set(total_bytes)
         return CacheStats(entries=entries, total_bytes=total_bytes,
                           shard_dirs=len(shard_dirs),
                           legacy_entries=legacy, stale_tmp=stale_tmp)
@@ -286,6 +313,7 @@ class ResultCache:
         deterministic — until the cache fits.  Returns the number of
         entries evicted.
         """
+        _METRIC_COMPACTIONS.inc()
         for tmp in self._iter_tmp():
             if self._tmp_is_stale(tmp, stale_tmp_s):
                 tmp.unlink(missing_ok=True)
@@ -312,6 +340,8 @@ class ResultCache:
             total -= size
             evicted += 1
         self.evictions += evicted
+        if evicted:
+            _METRIC_EVICTIONS.inc(evicted)
         return evicted
 
     def clear(self) -> int:

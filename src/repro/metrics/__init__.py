@@ -1,0 +1,36 @@
+"""Service-grade metrics for the simulator-as-a-service stack.
+
+``repro.telemetry`` observes the *simulated machine* (tick-keyed
+traces and time-series); this package observes the *service* — the
+job scheduler, result cache, parallel runner, and HTTP layer — with a
+thread-safe, dependency-free registry of counters, gauges, and
+fixed-bucket histograms.
+
+* :data:`REGISTRY` — the process-wide default registry every
+  instrumented component records into; ``GET /metrics`` renders it in
+  Prometheus text exposition format.
+* :mod:`repro.metrics.names` — the single naming source shared by the
+  endpoint, the CLI, the dashboard, and CI.
+* :mod:`repro.metrics.exposition` — scrape-side parsing and quantile
+  estimation for ``repro top``.
+
+See docs/OBSERVABILITY.md (“Service metrics & logging”).
+"""
+
+from repro.metrics.registry import (Counter, Gauge, Histogram,
+                                    MetricFamily, MetricsRegistry)
+from repro.metrics.exposition import (histogram_buckets,
+                                      histogram_quantile,
+                                      parse_exposition, sample_value,
+                                      sum_samples)
+from repro.metrics import names
+
+#: the process-wide registry; tests may build private
+#: :class:`MetricsRegistry` instances for isolation
+REGISTRY = MetricsRegistry()
+
+__all__ = [
+    "Counter", "Gauge", "Histogram", "MetricFamily", "MetricsRegistry",
+    "REGISTRY", "names", "parse_exposition", "sample_value",
+    "sum_samples", "histogram_buckets", "histogram_quantile",
+]

@@ -1,0 +1,145 @@
+"""Parse the Prometheus text exposition format back into numbers.
+
+The ``repro top`` dashboard scrapes ``GET /metrics`` like any other
+Prometheus client would, so it needs the inverse of
+:meth:`~repro.metrics.registry.MetricsRegistry.render`: text in,
+``{metric_name: {label_items: value}}`` out.  The parser covers the
+subset the registry emits (``# HELP`` / ``# TYPE`` comments, optionally
+labeled samples, ``+Inf`` bounds) — which is also the subset every
+real exposition uses.
+
+:func:`histogram_quantile` estimates quantiles from cumulative bucket
+counts with linear interpolation inside the winning bucket, the same
+estimator as PromQL's ``histogram_quantile``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+#: one parsed exposition: metric name → {sorted label items → value}
+Samples = Dict[str, Dict[Tuple[Tuple[str, str], ...], float]]
+
+
+def _parse_labels(text: str) -> Tuple[Tuple[str, str], ...]:
+    """``a="x",b="y"`` → (("a", "x"), ("b", "y")), sorted by name."""
+    items: List[Tuple[str, str]] = []
+    index = 0
+    while index < len(text):
+        equals = text.index("=", index)
+        name = text[index:equals].strip().lstrip(",").strip()
+        if text[equals + 1] != '"':
+            raise ValueError(f"unquoted label value in {text!r}")
+        value_chars: List[str] = []
+        index = equals + 2
+        while text[index] != '"':
+            if text[index] == "\\":
+                index += 1
+                value_chars.append(
+                    {"n": "\n", '"': '"', "\\": "\\"}.get(
+                        text[index], text[index]))
+            else:
+                value_chars.append(text[index])
+            index += 1
+        items.append((name, "".join(value_chars)))
+        index += 1  # past the closing quote
+    return tuple(sorted(items))
+
+
+def parse_exposition(text: str) -> Samples:
+    """Parse exposition *text* into ``{name: {labels: value}}``.
+
+    Histogram series appear under their expanded names
+    (``<name>_bucket`` with an ``le`` label, ``<name>_sum``,
+    ``<name>_count``), exactly as exposed.
+    """
+    samples: Samples = {}
+    for line in text.splitlines():
+        line = line.strip()
+        if not line or line.startswith("#"):
+            continue
+        if "{" in line:
+            name, rest = line.split("{", 1)
+            label_text, value_text = rest.rsplit("}", 1)
+            labels = _parse_labels(label_text)
+        else:
+            name, value_text = line.rsplit(None, 1)
+            labels = ()
+        samples.setdefault(name, {})[labels] = float(value_text)
+    return samples
+
+
+def sample_value(samples: Samples, name: str,
+                 default: float = 0.0, **labels: str) -> float:
+    """One sample's value, or *default* when absent."""
+    series = samples.get(name)
+    if not series:
+        return default
+    key = tuple(sorted(labels.items()))
+    return series.get(key, default)
+
+
+def sum_samples(samples: Samples, name: str, **labels: str) -> float:
+    """Sum every sample of *name* whose labels include **labels**."""
+    series = samples.get(name)
+    if not series:
+        return 0.0
+    want = set(labels.items())
+    return sum(value for key, value in series.items()
+               if want <= set(key))
+
+
+def histogram_buckets(samples: Samples, name: str,
+                      **labels: str) -> List[Tuple[float, float]]:
+    """Cumulative ``[(upper_bound, count), ...]`` for one histogram.
+
+    Buckets matching **labels** are merged (summed) across any other
+    label dimensions — e.g. the job wall-time histogram summed over
+    its ``state`` label.
+    """
+    series = samples.get(f"{name}_bucket")
+    if not series:
+        return []
+    merged: Dict[float, float] = {}
+    want = set(labels.items())
+    for key, value in series.items():
+        bound: Optional[float] = None
+        rest = []
+        for label_name, label_value in key:
+            if label_name == "le":
+                bound = (float("inf") if label_value == "+Inf"
+                         else float(label_value))
+            else:
+                rest.append((label_name, label_value))
+        if bound is None or not want <= set(rest):
+            continue
+        merged[bound] = merged.get(bound, 0.0) + value
+    return sorted(merged.items())
+
+
+def histogram_quantile(buckets: List[Tuple[float, float]],
+                       quantile: float) -> Optional[float]:
+    """Estimate a quantile from cumulative buckets (PromQL-style).
+
+    Linear interpolation inside the winning bucket; an answer in the
+    ``+Inf`` bucket degrades to the highest finite bound.  ``None``
+    when there are no observations.
+    """
+    if not buckets:
+        return None
+    total = buckets[-1][1]
+    if total <= 0:
+        return None
+    rank = quantile * total
+    previous_bound = 0.0
+    previous_count = 0.0
+    for bound, count in buckets:
+        if count >= rank:
+            if bound == float("inf"):
+                return previous_bound if previous_count else None
+            if count == previous_count:
+                return bound
+            fraction = (rank - previous_count) / (count - previous_count)
+            return previous_bound + (bound - previous_bound) * fraction
+        previous_bound, previous_count = bound, count
+    return previous_bound

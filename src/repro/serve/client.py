@@ -9,17 +9,40 @@ from __future__ import annotations
 
 import http.client
 import json
+import os
 import time
-from typing import Any, Dict, Iterable, Iterator, List, Optional
+from typing import Any, Dict, Iterable, Iterator, List, Optional, Tuple
 from urllib.parse import urlsplit
 
 from repro.core.metrics import RunResult
 
 DEFAULT_TIMEOUT_S = 600.0
 
+#: environment override for connect-retry attempts (see ``_retrying``)
+RETRIES_ENV = "REPRO_CLIENT_RETRIES"
+DEFAULT_RETRIES = 3
+
+
+def _resolve_retries() -> int:
+    env = os.environ.get(RETRIES_ENV, "").strip()
+    if env:
+        try:
+            return max(0, int(env))
+        except ValueError:
+            raise ValueError(f"{RETRIES_ENV} must be an integer, "
+                             f"got {env!r}") from None
+    return DEFAULT_RETRIES
+
 
 class ServiceError(RuntimeError):
-    """A non-2xx answer from the service."""
+    """A non-2xx answer from the service.
+
+    ``message`` carries the server's explanation: the ``error`` field
+    of a JSON error document, or the raw response body when the server
+    answered with something that is not JSON (a proxy error page, a
+    half-written response) — an opaque parse failure must never eat
+    the actual diagnosis.
+    """
 
     def __init__(self, status: int, message: str) -> None:
         super().__init__(f"HTTP {status}: {message}")
@@ -27,14 +50,31 @@ class ServiceError(RuntimeError):
         self.message = message
 
 
+def _error_message(body: bytes) -> str:
+    """The most useful description of an error body we can extract."""
+    text = body.decode("utf-8", errors="replace").strip()
+    try:
+        document = json.loads(text)
+    except ValueError:
+        return text[:500] if text else "empty error body"
+    if isinstance(document, dict) and document.get("error"):
+        return str(document["error"])
+    return text[:500]
+
+
 class ServeClient:
     """Blocking HTTP client for one :class:`ReproServer`."""
 
     def __init__(self, host: str = "127.0.0.1", port: int = 8787,
-                 timeout_s: float = DEFAULT_TIMEOUT_S) -> None:
+                 timeout_s: float = DEFAULT_TIMEOUT_S,
+                 retries: Optional[int] = None) -> None:
         self.host = host
         self.port = port
         self.timeout_s = timeout_s
+        #: connection-refused retries (server still booting); explicit
+        #: argument wins, then ``REPRO_CLIENT_RETRIES``, default 3
+        self.retries = _resolve_retries() if retries is None else \
+            max(0, retries)
 
     @classmethod
     def from_url(cls, url: str,
@@ -51,29 +91,70 @@ class ServeClient:
         return http.client.HTTPConnection(self.host, self.port,
                                           timeout=self.timeout_s)
 
+    def _open(self, method: str, path: str, payload: Any = None
+              ) -> Tuple[http.client.HTTPConnection,
+                         http.client.HTTPResponse]:
+        """Issue one request, retrying a refused connection.
+
+        A freshly spawned server takes a beat to bind its socket; a
+        refused connection during that warmup is retried with
+        exponential backoff (0.1 s, 0.2 s, 0.4 s, …) up to
+        ``self.retries`` times.  Anything else propagates immediately.
+        """
+        body = None
+        headers = {}
+        if payload is not None:
+            body = json.dumps(payload)
+            headers["Content-Type"] = "application/json"
+        attempt = 0
+        while True:
+            connection = self._connection()
+            try:
+                connection.request(method, path, body=body,
+                                   headers=headers)
+                return connection, connection.getresponse()
+            except ConnectionRefusedError:
+                connection.close()
+                if attempt >= self.retries:
+                    raise
+                time.sleep(0.1 * (2 ** attempt))
+                attempt += 1
+
     def _request(self, method: str, path: str,
                  payload: Any = None) -> Dict[str, Any]:
-        connection = self._connection()
+        connection, response = self._open(method, path, payload)
         try:
-            body = None
-            headers = {}
-            if payload is not None:
-                body = json.dumps(payload)
-                headers["Content-Type"] = "application/json"
-            connection.request(method, path, body=body, headers=headers)
-            response = connection.getresponse()
-            document = json.loads(response.read().decode("utf-8"))
+            raw = response.read()
         finally:
             connection.close()
         if response.status >= 400:
-            raise ServiceError(response.status,
-                               document.get("error", "unknown error"))
-        return document
+            raise ServiceError(response.status, _error_message(raw))
+        return json.loads(raw.decode("utf-8"))
+
+    def _request_text(self, path: str) -> str:
+        """GET a non-JSON endpoint (``/metrics``) as text."""
+        connection, response = self._open("GET", path)
+        try:
+            raw = response.read()
+        finally:
+            connection.close()
+        if response.status >= 400:
+            raise ServiceError(response.status, _error_message(raw))
+        return raw.decode("utf-8")
 
     # -- API -----------------------------------------------------------
 
     def healthz(self) -> bool:
         return bool(self._request("GET", "/healthz").get("ok"))
+
+    def readyz(self) -> Dict[str, Any]:
+        """The readiness document; raises ``ServiceError(503)`` when
+        the server is degraded to threads."""
+        return self._request("GET", "/readyz")
+
+    def metrics_text(self) -> str:
+        """The raw Prometheus exposition from ``GET /metrics``."""
+        return self._request_text("/metrics")
 
     def submit(self, code: str, input_size: str = "small",
                mode: str = "direct_store",
@@ -115,19 +196,18 @@ class ServeClient:
     def cancel(self, job_id: str) -> Dict[str, Any]:
         return self._request("DELETE", f"/jobs/{job_id}")
 
-    def stats(self) -> Dict[str, Any]:
-        return self._request("GET", "/stats")
+    def stats(self, v2: bool = False) -> Dict[str, Any]:
+        path = "/stats?v=2" if v2 else "/stats"
+        return self._request("GET", path)
 
     def watch(self, job_id: str) -> Iterator[Dict[str, Any]]:
         """Stream state transitions (NDJSON) until the job is terminal."""
-        connection = self._connection()
+        connection, response = self._open("GET",
+                                          f"/jobs/{job_id}?watch=1")
         try:
-            connection.request("GET", f"/jobs/{job_id}?watch=1")
-            response = connection.getresponse()
             if response.status >= 400:
-                document = json.loads(response.read().decode("utf-8"))
                 raise ServiceError(response.status,
-                                   document.get("error", "unknown"))
+                                   _error_message(response.read()))
             for line in response:
                 line = line.strip()
                 if line:

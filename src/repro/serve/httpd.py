@@ -68,6 +68,7 @@ STATUS_REASONS = {
     200: "OK", 201: "Created", 202: "Accepted", 204: "No Content",
     400: "Bad Request", 404: "Not Found", 405: "Method Not Allowed",
     409: "Conflict", 500: "Internal Server Error",
+    503: "Service Unavailable",
 }
 
 

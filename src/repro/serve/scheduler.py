@@ -26,15 +26,39 @@ import time
 from concurrent.futures import BrokenExecutor, ThreadPoolExecutor
 from typing import Any, Dict, Optional
 
+from repro import obslog
 from repro.core.config import SystemConfig
 from repro.core.metrics import RunResult
 from repro.harness.parallel import RunPoint, resolve_jobs
 from repro.harness.resultcache import ResultCache, run_fingerprint
 from repro.harness.runner import run_benchmark
+from repro.metrics import REGISTRY
+from repro.metrics import names as metric_names
 from repro.serve.jobs import Job, JobState, parse_job_payload
 
 #: environment override for the per-job wall-clock timeout (seconds)
 TIMEOUT_ENV = "REPRO_SERVE_TIMEOUT"
+
+_LOG = obslog.get_logger("serve.scheduler")
+
+_METRIC_SUBMITTED = metric_names.declare(REGISTRY,
+                                         metric_names.JOBS_SUBMITTED)
+_METRIC_DEDUPLICATED = metric_names.declare(
+    REGISTRY, metric_names.JOBS_DEDUPLICATED)
+_METRIC_SETTLED = metric_names.declare(REGISTRY,
+                                       metric_names.JOBS_SETTLED)
+_METRIC_JOBS_BY_STATE = metric_names.declare(REGISTRY,
+                                             metric_names.JOBS_BY_STATE)
+_METRIC_QUEUE_DEPTH = metric_names.declare(REGISTRY,
+                                           metric_names.QUEUE_DEPTH)
+_METRIC_SIMULATIONS = metric_names.declare(REGISTRY,
+                                           metric_names.SIMULATIONS)
+_METRIC_DEGRADED = metric_names.declare(REGISTRY,
+                                        metric_names.EXECUTOR_DEGRADED)
+_METRIC_WALL_SECONDS = metric_names.declare(REGISTRY,
+                                            metric_names.JOB_WALL_SECONDS)
+_METRIC_UPTIME = metric_names.declare(REGISTRY,
+                                      metric_names.UPTIME_SECONDS)
 
 
 def execute_point(point: RunPoint) -> RunResult:
@@ -58,6 +82,9 @@ class JobScheduler:
         self.inflight_dedup_hits = 0
         self.completed_dedup_hits = 0
         self.simulations_run = 0
+        #: True once a process-pool scheduler fell back to threads;
+        #: never set when threads were chosen explicitly
+        self.degraded_to_threads = False
         self._use_processes = use_processes
         self._executor = None
         self._executor_kind: Optional[str] = None
@@ -79,20 +106,30 @@ class JobScheduler:
     def submit(self, point: RunPoint) -> Job:
         """Admit one point; returns the (possibly pre-existing) job."""
         fingerprint = self.fingerprint_of(point)
+        _METRIC_SUBMITTED.inc()
         existing = self.jobs.get(fingerprint)
         if existing is not None:
             existing.submissions += 1
             if not existing.state.terminal:
                 self.inflight_dedup_hits += 1
+                _METRIC_DEDUPLICATED.labels(kind="inflight").inc()
+                _LOG.info("job_deduped", job=fingerprint,
+                          kind="inflight", state=existing.state.value)
                 return existing
             if existing.state is JobState.DONE:
                 self.completed_dedup_hits += 1
+                _METRIC_DEDUPLICATED.labels(kind="completed").inc()
+                _LOG.info("job_deduped", job=fingerprint,
+                          kind="completed")
                 return existing
             # failed / cancelled: resubmission retries with a fresh job
         job = Job(fingerprint, point)
         if existing is not None:
             job.submissions += existing.submissions
         self.jobs[fingerprint] = job
+        _LOG.info("job_admitted", job=fingerprint, code=point.code,
+                  input_size=point.input_size, mode=point.mode.value,
+                  retry=existing is not None)
         task = asyncio.get_running_loop().create_task(self._run_job(job))
         task.add_done_callback(
             lambda done, job=job: self._settle(job, done))
@@ -126,12 +163,28 @@ class JobScheduler:
                         PermissionError):
                     if use_processes:
                         raise
+                    self._mark_degraded("process pool unavailable")
             self._executor = ThreadPoolExecutor(
                 max_workers=self.max_workers)
             self._executor_kind = "thread"
         return self._executor
 
+    def _mark_degraded(self, reason: str) -> None:
+        """Record that processes were wanted but threads were obtained.
+
+        Explicit ``use_processes=False`` is a *choice*, not degradation
+        — only a scheduler that preferred a process pool and could not
+        keep one counts (and trips the ``/readyz`` probe).
+        """
+        if self._use_processes is False or self.degraded_to_threads:
+            return
+        self.degraded_to_threads = True
+        _METRIC_DEGRADED.set(1)
+        _LOG.warning("executor_degraded", reason=reason,
+                     max_workers=self.max_workers)
+
     def _degrade_to_threads(self) -> None:
+        self._mark_degraded("process pool broke mid-run")
         old = self._executor
         self._executor = ThreadPoolExecutor(max_workers=self.max_workers)
         self._executor_kind = "thread"
@@ -150,6 +203,20 @@ class JobScheduler:
             return await loop.run_in_executor(self._executor,
                                               execute_point, point)
 
+    def _observe_settled(self, job: Job, state_label: str,
+                         **fields: Any) -> None:
+        """Count one terminal transition and its submit→settle wall time.
+
+        *state_label* extends :class:`JobState` values with ``timeout``
+        so timed-out jobs (stored as FAILED) stay distinguishable.
+        """
+        wall_s = max(0.0, time.time() - job.created)
+        _METRIC_SETTLED.labels(state=state_label).inc()
+        _METRIC_WALL_SECONDS.labels(state=state_label).observe(wall_s)
+        level = "info" if state_label == "done" else "warning"
+        _LOG.log(level, f"job_{state_label}", job=job.fingerprint,
+                 wall_s=round(wall_s, 6), **fields)
+
     async def _run_job(self, job: Job) -> None:
         try:
             async with self._semaphore:
@@ -158,9 +225,13 @@ class JobScheduler:
                     job.result = cached
                     job.cached = True
                     await job.advance(JobState.DONE)
+                    self._observe_settled(job, "done", cached=True)
                     return
                 await job.advance(JobState.RUNNING)
                 self.simulations_run += 1
+                _METRIC_SIMULATIONS.inc()
+                _LOG.info("job_running", job=job.fingerprint,
+                          executor=self._executor_kind or "pending")
                 try:
                     execution = self._execute(job.point)
                     if self.timeout_s:
@@ -172,16 +243,21 @@ class JobScheduler:
                     await job.advance(
                         JobState.FAILED,
                         error=f"timed out after {self.timeout_s}s")
+                    self._observe_settled(job, "timeout",
+                                          timeout_s=self.timeout_s)
                     return
                 except Exception as exc:
                     await job.advance(JobState.FAILED, error=repr(exc))
+                    self._observe_settled(job, "failed", error=repr(exc))
                     return
                 job.result = result
                 self._cache_put(job.point, result)
                 await job.advance(JobState.DONE)
+                self._observe_settled(job, "done", cached=False)
         except asyncio.CancelledError:
             if not job.state.terminal:
                 await asyncio.shield(job.advance(JobState.CANCELLED))
+                self._observe_settled(job, "cancelled")
             raise
 
     def _settle(self, job: Job, task: asyncio.Task) -> None:
@@ -200,6 +276,8 @@ class JobScheduler:
             exc = task.exception()
             state = JobState.FAILED
             error = repr(exc) if exc else "job task exited unexpectedly"
+        self._observe_settled(job, state.value, error=error,
+                              backstop=True)
         settle = asyncio.get_running_loop().create_task(
             job.advance(state, error=error))
         self._settlers.append(settle)
@@ -236,6 +314,7 @@ class JobScheduler:
             "uptime_s": round(time.time() - self.started, 3),
             "max_workers": self.max_workers,
             "executor": self._executor_kind,
+            "degraded_to_threads": self.degraded_to_threads,
             "timeout_s": self.timeout_s,
             "jobs": {"total": len(self.jobs), **states},
             "queue_depth": states[JobState.QUEUED.value],
@@ -246,6 +325,41 @@ class JobScheduler:
             "simulations_run": self.simulations_run,
             "cache": cache,
         }
+
+    def readiness(self) -> Dict[str, Any]:
+        """The ``GET /readyz`` document; ``ready`` drives the status.
+
+        Degradation to threads keeps the service *alive* (``/healthz``
+        stays 200 — every request still completes) but not *ready*:
+        orchestrators should stop routing new load at a server whose
+        process pool is gone.
+        """
+        return {
+            "ready": not self.degraded_to_threads,
+            "degraded_to_threads": self.degraded_to_threads,
+            "executor": self._executor_kind,
+            "max_workers": self.max_workers,
+        }
+
+    def refresh_gauges(self) -> None:
+        """Bring point-in-time gauges current before a scrape.
+
+        Counters are exact because they increment at event time; gauges
+        describe *this* scheduler's current shape, so the serving
+        scheduler re-derives them when ``/metrics`` or ``/stats?v=2``
+        is read rather than racing other scheduler instances for
+        ownership of the shared registry.
+        """
+        states = {state.value: 0 for state in JobState}
+        for job in self.jobs.values():
+            states[job.state.value] += 1
+        for state, count in states.items():
+            _METRIC_JOBS_BY_STATE.labels(state=state).set(count)
+        _METRIC_QUEUE_DEPTH.set(states[JobState.QUEUED.value])
+        _METRIC_DEGRADED.set(1 if self.degraded_to_threads else 0)
+        _METRIC_UPTIME.set(round(time.time() - self.started, 3))
+        if self.cache is not None:
+            self.cache.scan()  # sets the cache entry/byte gauges
 
     async def shutdown(self) -> None:
         """Cancel outstanding jobs and release the pool."""

@@ -13,8 +13,13 @@ Endpoints (see ``docs/SERVICE.md``):
                               state transitions until terminal
 ``GET /jobs/<id>/result``     the finished ``RunResult`` document
 ``DELETE /jobs/<id>``         cancel a queued/running job
-``GET /stats``                cache, dedupe, queue and executor stats
+``GET /stats``                cache, dedupe, queue and executor stats;
+                              ``?v=2`` adds the metrics snapshot
+``GET /metrics``              Prometheus text exposition of the
+                              service registry
 ``GET /healthz``              liveness probe
+``GET /readyz``               readiness probe; 503 while the executor
+                              is degraded to threads
 
 :func:`run_server` blocks a CLI process; :class:`ServerThread` hosts
 the same server on a daemon thread for tests and benchmarks.
@@ -26,9 +31,13 @@ import asyncio
 import json
 import sys
 import threading
-from typing import Optional, Union
+import time
+from typing import Optional, Tuple, Union
 
+from repro import obslog
 from repro.harness.resultcache import ResultCache
+from repro.metrics import REGISTRY
+from repro.metrics import names as metric_names
 from repro.serve import httpd
 from repro.serve.httpd import (BadRequest, Request, Response,
                                StreamResponse, error_response,
@@ -41,6 +50,34 @@ DEFAULT_PORT = 8787
 
 #: upper bound on points accepted by one ``POST /jobs/batch``
 MAX_BATCH_JOBS = 64
+
+#: the ``Content-Type`` Prometheus scrapers expect from ``/metrics``
+METRICS_CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+_LOG = obslog.get_logger("serve.http")
+
+_METRIC_REQUESTS = metric_names.declare(REGISTRY,
+                                        metric_names.HTTP_REQUESTS)
+_METRIC_REQUEST_SECONDS = metric_names.declare(
+    REGISTRY, metric_names.HTTP_REQUEST_SECONDS)
+
+
+def route_label(segments: Tuple[str, ...]) -> str:
+    """The low-cardinality route *pattern* a request matched.
+
+    Metric labels must never carry raw paths (every job id would mint
+    a new time-series), so job ids collapse to ``<id>`` and anything
+    unrecognised collapses to one bucket.
+    """
+    if segments in (("healthz",), ("readyz",), ("stats",),
+                    ("metrics",), ("jobs",), ("jobs", "batch")):
+        return "/" + "/".join(segments)
+    if len(segments) == 2 and segments[0] == "jobs":
+        return "/jobs/<id>"
+    if len(segments) == 3 and segments[0] == "jobs" \
+            and segments[2] == "result":
+        return "/jobs/<id>/result"
+    return "<unmatched>"
 
 
 class ReproServer:
@@ -85,12 +122,15 @@ class ReproServer:
                 return
             if request is None:
                 return
+            start = time.perf_counter()
             try:
                 response = await self._route(request)
             except JobError as exc:
                 response = error_response(400, str(exc))
             except Exception as exc:  # a handler bug must not kill the server
                 response = error_response(500, repr(exc))
+            self._observe_request(request, response.status,
+                                  time.perf_counter() - start)
             if isinstance(response, StreamResponse):
                 await httpd.write_stream(writer, response)
             else:
@@ -104,6 +144,27 @@ class ReproServer:
             except (ConnectionError, OSError):
                 pass
 
+    def _observe_request(self, request: Request, status: int,
+                         elapsed_s: float) -> None:
+        """Per-route metrics + one access-log record per request.
+
+        Handler latency only — a ``?watch=1`` stream can stay open for
+        a job's whole lifetime, which is the job's story, not the
+        router's.
+        """
+        segments = httpd.split_path(request.path)
+        route = route_label(segments)
+        _METRIC_REQUESTS.labels(route=route, method=request.method,
+                                status=str(status)).inc()
+        _METRIC_REQUEST_SECONDS.labels(route=route).observe(elapsed_s)
+        if _LOG.enabled:
+            fields = {"route": route, "method": request.method,
+                      "status": status,
+                      "elapsed_s": round(elapsed_s, 6)}
+            if route.startswith("/jobs/<id>"):
+                fields["job"] = segments[1]
+            _LOG.info("request", **fields)
+
     # -- routing -------------------------------------------------------
 
     async def _route(self, request: Request
@@ -111,8 +172,20 @@ class ReproServer:
         segments = httpd.split_path(request.path)
         if segments == ("healthz",) and request.method == "GET":
             return json_response(200, {"ok": True})
+        if segments == ("readyz",) and request.method == "GET":
+            readiness = self.scheduler.readiness()
+            return json_response(200 if readiness["ready"] else 503,
+                                 readiness)
+        if segments == ("metrics",) and request.method == "GET":
+            self.scheduler.refresh_gauges()
+            return Response(200, REGISTRY.render().encode("utf-8"),
+                            content_type=METRICS_CONTENT_TYPE)
         if segments == ("stats",) and request.method == "GET":
-            return json_response(200, self.scheduler.stats())
+            document = self.scheduler.stats()
+            if request.query.get("v") == "2":
+                self.scheduler.refresh_gauges()
+                document["metrics"] = REGISTRY.snapshot()
+            return json_response(200, document)
         if segments == ("jobs",) and request.method == "POST":
             return self._submit(request)
         if segments == ("jobs", "batch") and request.method == "POST":

@@ -1,0 +1,146 @@
+"""``repro top`` — a live terminal dashboard over ``GET /metrics``.
+
+Polls a running service's Prometheus endpoint and renders the serving
+picture a human actually wants while watching a sweep: queue depth,
+job throughput, cache hit ratio, and submit-to-settle latency
+quantiles, with sparkline history for the rates.  Pure stdlib and
+curses-free — frames are ANSI clear-screen repaints, so the dashboard
+works in any terminal (and in a pipe, where the escape codes are
+simply skipped).
+
+Everything rendered here is *derived from the exposition text* via
+:mod:`repro.metrics.exposition` — the dashboard is also an end-to-end
+test that the ``/metrics`` surface carries enough signal to operate
+the service.
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.metrics import names
+from repro.metrics.exposition import (Samples, histogram_buckets,
+                                      histogram_quantile,
+                                      parse_exposition, sample_value,
+                                      sum_samples)
+from repro.serve.client import ServeClient
+from repro.telemetry.export import sparkline
+
+#: frames keep this many rate samples of history for the sparklines
+HISTORY = 40
+
+_CLEAR = "\x1b[2J\x1b[H"
+
+_JOB_STATES = ("queued", "running", "done", "failed", "cancelled")
+
+
+@dataclass
+class TopState:
+    """Rolling state between frames (rate deltas need a predecessor)."""
+
+    last_settled: Optional[float] = None
+    last_points: Optional[float] = None
+    settled_rate: List[float] = field(default_factory=list)
+    queue_depth: List[float] = field(default_factory=list)
+
+    def advance(self, samples: Samples, interval_s: float) -> None:
+        settled = sum_samples(samples, names.JOBS_SETTLED)
+        if self.last_settled is not None and interval_s > 0:
+            rate = max(0.0, settled - self.last_settled) / interval_s
+            self.settled_rate.append(rate)
+            del self.settled_rate[:-HISTORY]
+        self.last_settled = settled
+        self.queue_depth.append(
+            sample_value(samples, names.QUEUE_DEPTH))
+        del self.queue_depth[:-HISTORY]
+
+
+def _ratio(hits: float, misses: float) -> Optional[float]:
+    total = hits + misses
+    return hits / total if total else None
+
+
+def _fmt_pct(value: Optional[float]) -> str:
+    return f"{100 * value:5.1f}%" if value is not None else "    --"
+
+def _fmt_s(value: Optional[float]) -> str:
+    return f"{value:8.3f}s" if value is not None else "      --"
+
+
+def render_frame(samples: Samples, state: TopState,
+                 interval_s: float, endpoint: str) -> str:
+    """One dashboard frame (plain text, no escape codes)."""
+    state.advance(samples, interval_s)
+    uptime = sample_value(samples, names.UPTIME_SECONDS)
+    degraded = sample_value(samples, names.EXECUTOR_DEGRADED)
+    submitted = sample_value(samples, names.JOBS_SUBMITTED)
+    deduped = sum_samples(samples, names.JOBS_DEDUPLICATED)
+    simulations = sample_value(samples, names.SIMULATIONS)
+    hits = sample_value(samples, names.CACHE_HITS)
+    misses = sample_value(samples, names.CACHE_MISSES)
+
+    states = {label: sample_value(samples, names.JOBS_BY_STATE,
+                                  state=label)
+              for label in _JOB_STATES}
+    buckets = histogram_buckets(samples, names.JOB_WALL_SECONDS)
+    quantiles = {q: histogram_quantile(buckets, q)
+                 for q in (0.5, 0.9, 0.99)}
+    rate = state.settled_rate[-1] if state.settled_rate else 0.0
+
+    lines = [
+        f"repro top — {endpoint}   uptime {uptime:8.1f}s   "
+        + ("EXECUTOR DEGRADED (threads)" if degraded else
+           "executor healthy"),
+        "",
+        f"jobs      submitted {submitted:8.0f}   deduped "
+        f"{deduped:8.0f}   simulations {simulations:8.0f}",
+        "          " + "   ".join(
+            f"{label} {states[label]:5.0f}" for label in _JOB_STATES),
+        "",
+        f"queue     depth {state.queue_depth[-1]:6.0f}   "
+        f"[{sparkline(state.queue_depth, width=HISTORY)}]",
+        f"settle    rate {rate:6.2f}/s  "
+        f"[{sparkline(state.settled_rate or [0.0], width=HISTORY)}]",
+        "",
+        f"cache     hit ratio {_fmt_pct(_ratio(hits, misses))}   "
+        f"hits {hits:8.0f}   misses {misses:8.0f}",
+        f"latency   p50 {_fmt_s(quantiles[0.5])}   "
+        f"p90 {_fmt_s(quantiles[0.9])}   "
+        f"p99 {_fmt_s(quantiles[0.99])}",
+    ]
+    return "\n".join(lines)
+
+
+def run_top(host: str, port: int, interval_s: float = 2.0,
+            iterations: Optional[int] = None,
+            stream=None, clear: bool = True) -> int:
+    """Poll ``/metrics`` and repaint until interrupted.
+
+    *iterations* bounds the frame count (tests and one-shot checks);
+    ``None`` runs until Ctrl-C.  Returns a process exit code.
+    """
+    out = stream or sys.stdout
+    client = ServeClient(host, port, timeout_s=max(10.0, interval_s))
+    state = TopState()
+    frame = 0
+    try:
+        while iterations is None or frame < iterations:
+            try:
+                samples = parse_exposition(client.metrics_text())
+            except (ConnectionError, OSError) as exc:
+                print(f"repro top: {host}:{port} unreachable ({exc})",
+                      file=sys.stderr)
+                return 1
+            text = render_frame(samples, state, interval_s,
+                                f"{host}:{port}")
+            out.write((_CLEAR if clear else "") + text + "\n")
+            out.flush()
+            frame += 1
+            if iterations is None or frame < iterations:
+                time.sleep(interval_s)
+    except KeyboardInterrupt:
+        pass
+    return 0

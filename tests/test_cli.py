@@ -104,6 +104,49 @@ class TestCacheCommand:
         assert "evicted" in out
         assert main(["cache", "stats", "--json"]) == 0
 
+    def test_stats_prints_metric_names(self, capsys):
+        """Counter names match /metrics — one naming source, no drift."""
+        from repro.metrics import names
+        assert main(["cache", "stats"]) == 0
+        out = capsys.readouterr().out
+        for name in names.CACHE_FAMILIES:
+            assert name in out
+
+    def test_stats_json_metric_names(self, capsys):
+        import json
+        from repro.metrics import names
+        assert main(["cache", "stats", "--json"]) == 0
+        document = json.loads(capsys.readouterr().out)
+        assert set(names.CACHE_FAMILIES) <= set(document["metrics"])
+
+
+class TestTopCommand:
+    def test_top_renders_against_live_server(self, capsys):
+        from repro.harness.resultcache import ResultCache
+        from repro.serve.client import ServeClient
+        from repro.serve.server import ServerThread
+        import os
+        cache_dir = os.environ["REPRO_CACHE_DIR"]
+        with ServerThread(cache=ResultCache(cache_dir),
+                          jobs=1, use_processes=False) as server:
+            client = ServeClient("127.0.0.1", server.port)
+            job = client.submit("PT", input_size="small",
+                                mode="direct_store")
+            client.wait(job["job_id"])
+            url = f"http://127.0.0.1:{server.port}"
+            assert main(["top", "--url", url, "--iterations", "2",
+                         "--interval", "0.1", "--no-clear"]) == 0
+        out = capsys.readouterr().out
+        assert "repro top" in out
+        assert "queue" in out and "cache" in out and "latency" in out
+        assert out.count("jobs") >= 2  # two frames rendered
+
+    def test_top_unreachable_server(self, capsys, monkeypatch):
+        monkeypatch.setenv("REPRO_CLIENT_RETRIES", "0")
+        assert main(["top", "--url", "http://127.0.0.1:9",
+                     "--iterations", "1"]) == 1
+        assert "unreachable" in capsys.readouterr().err
+
 
 class TestExploreErrors:
     def test_unknown_code(self, capsys):

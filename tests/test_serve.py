@@ -408,6 +408,160 @@ class TestBatchSubmission:
         assert all(job["state"] == "done" for job in jobs)
 
 
+class TestObservabilityEndpoints:
+    """GET /metrics, /readyz, /stats?v=2 and client-side plumbing."""
+
+    def test_metrics_exposition_covers_families(self, live_client):
+        from repro.metrics import names, parse_exposition, sample_value
+        live_client.submit_and_wait("VA", config=TINY_CONFIG)
+        live_client.submit("VA", config=TINY_CONFIG)  # completed dedupe
+        text = live_client.metrics_text()
+        samples = parse_exposition(text)
+        # scheduler, cache, runner, and HTTP families all present
+        assert sample_value(samples, names.JOBS_SUBMITTED) >= 2
+        assert sample_value(samples, names.JOBS_DEDUPLICATED,
+                            kind="completed") >= 1
+        assert sample_value(samples, names.JOBS_SETTLED,
+                            state="done") >= 1
+        assert sample_value(samples, names.UPTIME_SECONDS) > 0
+        assert f"# TYPE {names.CACHE_HITS} counter" in text
+        assert sample_value(samples, names.HTTP_REQUESTS,
+                            route="/metrics", method="GET",
+                            status="200") >= 0  # this scrape not yet in
+        assert sample_value(samples, names.HTTP_REQUESTS, route="/jobs",
+                            method="POST", status="200") \
+            + sample_value(samples, names.HTTP_REQUESTS, route="/jobs",
+                           method="POST", status="202") >= 1
+        # job wall-time histogram carries the run
+        assert sample_value(samples, f"{names.JOB_WALL_SECONDS}_count",
+                            state="done") >= 1
+
+    def test_readyz_healthy_server(self, live_client):
+        document = live_client.readyz()
+        assert document["ready"] is True
+        assert document["degraded_to_threads"] is False
+
+    def test_readyz_degraded_returns_503(self, monkeypatch):
+        _fake_executor(monkeypatch)
+        with ServerThread(jobs=1, use_processes=False) as server:
+            scheduler = server.server.scheduler
+            # force what a broken process pool does to a process-pool
+            # server: _use_processes None + thread fallback
+            scheduler._use_processes = None
+            scheduler._mark_degraded("test-forced")
+            client = ServeClient("127.0.0.1", server.port)
+            with pytest.raises(ServiceError) as not_ready:
+                client.readyz()
+            assert not_ready.value.status == 503
+            assert "degraded_to_threads" in not_ready.value.message \
+                or not_ready.value.message  # body surfaced either way
+            # liveness is unaffected
+            assert client.healthz() is True
+            assert client.stats()["degraded_to_threads"] is True
+
+    def test_explicit_thread_mode_is_not_degraded(self, monkeypatch):
+        _fake_executor(monkeypatch)
+        with ServerThread(jobs=1, use_processes=False) as server:
+            client = ServeClient("127.0.0.1", server.port)
+            job = client.submit("VA", config=TINY_CONFIG)
+            client.wait(job["job_id"])
+            assert client.readyz()["ready"] is True
+
+    def test_stats_v2_merges_metrics(self, live_client):
+        from repro.metrics import names
+        document = live_client.stats(v2=True)
+        assert "metrics" in document
+        assert names.JOBS_SUBMITTED in document["metrics"]
+        assert "uptime_s" in document  # v1 keys intact
+        assert "metrics" not in live_client.stats()
+
+    def test_error_body_surfaced_for_non_json(self, monkeypatch):
+        """A non-JSON error body lands in the exception, not a crash."""
+        from repro.serve.client import _error_message
+        assert _error_message(b"upstream proxy exploded") \
+            == "upstream proxy exploded"
+        assert _error_message(b"") == "empty error body"
+        assert _error_message(b'{"error": "real reason"}') \
+            == "real reason"
+        assert _error_message(b'["not", "a", "dict"]') \
+            == '["not", "a", "dict"]'
+
+    def test_client_retries_refused_connection(self, monkeypatch):
+        from repro.serve import client as client_module
+        attempts = []
+
+        class RefusingConnection:
+            def __init__(self, *args, **kwargs):
+                pass
+
+            def request(self, *args, **kwargs):
+                attempts.append(1)
+                raise ConnectionRefusedError("refused")
+
+            def close(self):
+                pass
+
+        monkeypatch.setattr(client_module.http.client,
+                            "HTTPConnection", RefusingConnection)
+        monkeypatch.setattr(client_module.time, "sleep",
+                            lambda _s: None)
+        client = ServeClient("127.0.0.1", 9, retries=2)
+        with pytest.raises(ConnectionRefusedError):
+            client.healthz()
+        assert len(attempts) == 3  # initial try + 2 retries
+
+    def test_client_retries_env_resolution(self, monkeypatch):
+        monkeypatch.setenv("REPRO_CLIENT_RETRIES", "7")
+        assert ServeClient().retries == 7
+        monkeypatch.setenv("REPRO_CLIENT_RETRIES", "nope")
+        with pytest.raises(ValueError, match="REPRO_CLIENT_RETRIES"):
+            ServeClient()
+        monkeypatch.delenv("REPRO_CLIENT_RETRIES")
+        assert ServeClient().retries == 3
+        assert ServeClient(retries=0).retries == 0
+
+    def test_route_label_cardinality(self):
+        from repro.serve.server import route_label
+        assert route_label(("jobs", "a" * 64)) == "/jobs/<id>"
+        assert route_label(("jobs", "x", "result")) \
+            == "/jobs/<id>/result"
+        assert route_label(("jobs", "batch")) == "/jobs/batch"
+        assert route_label(("metrics",)) == "/metrics"
+        assert route_label(("etc", "passwd")) == "<unmatched>"
+        assert route_label(()) == "<unmatched>"
+
+    def test_server_emits_structured_logs(self, monkeypatch):
+        import io
+        from repro import obslog
+        _fake_executor(monkeypatch)
+        buffer = io.StringIO()
+        obslog.configure("json", stream=buffer)
+        try:
+            with ServerThread(jobs=1, use_processes=False) as server:
+                client = ServeClient("127.0.0.1", server.port)
+                job = client.submit("VA", config=TINY_CONFIG)
+                client.wait(job["job_id"])
+                client.submit("VA", config=TINY_CONFIG)
+        finally:
+            obslog.reset()
+        records = [json.loads(line)
+                   for line in buffer.getvalue().splitlines()]
+        events = [record["event"] for record in records]
+        assert "job_admitted" in events
+        assert "job_done" in events
+        assert "job_deduped" in events
+        # the correlation id threads through the job's whole story
+        fingerprint = job["job_id"]
+        story = [record["event"] for record in records
+                 if record.get("job") == fingerprint]
+        assert {"job_admitted", "job_done",
+                "job_deduped"} <= set(story)
+        # HTTP access records carry the route pattern, not the raw path
+        routes = {record["route"] for record in records
+                  if record["event"] == "request"}
+        assert "/jobs" in routes
+
+
 class TestCliIntegration:
     def test_submit_command_round_trip(self, live_server, capsys):
         from repro.cli import main

@@ -549,6 +549,12 @@ def main(argv=None):
                                           args.input_size,
                                           args.explore_points)
 
+    # the service-metrics snapshot of everything this process just did
+    # (cache traffic, runner batches, scheduler jobs from the service
+    # section) — tools/bench_watch.py reads it alongside the timings
+    from repro.metrics import REGISTRY
+    record["metrics"] = REGISTRY.snapshot()
+
     output_path.write_text(json.dumps(record, indent=2) + "\n")
     print(f"wrote {args.output}", file=sys.stderr)
     if not identical:

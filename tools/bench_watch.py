@@ -1,0 +1,208 @@
+#!/usr/bin/env python
+"""Watch BENCH_harness.json history for per-benchmark regressions.
+
+``tools/bench_harness.py`` writes one perf-trajectory record per run;
+this tool reads a *sequence* of such records (oldest first, newest
+last) and answers the question CI and humans keep re-deriving by hand:
+**which benchmark got slower, and is it noise?**
+
+For every ``code/mode`` key in the newest record's ``per_benchmark_s``
+the baseline is the **median** of that key across the prior records
+(median, not mean — one interference burst in history must not move
+the yardstick).  A benchmark is flagged as a regression only when its
+newest time exceeds the baseline by more than the noise band: a
+relative fraction (``--band``, default 10%) *and* an absolute floor
+(``--floor``, default 0.05 s) — sub-tenth-of-a-second jitter on a
+5 ms benchmark is not a finding.
+
+Tick-count drift between records is reported separately as a
+**semantic change**, never a perf regression: when ``total_ticks``
+moved, the workload itself changed and timing comparisons are void
+for that benchmark.
+
+The newest record's ``metrics`` snapshot (the service-metrics registry
+state the harness embedded) is summarised alongside, so one invocation
+shows both the timing trajectory and what the serving stack did.
+
+Usage::
+
+    PYTHONPATH=src python tools/bench_watch.py BENCH_old.json ... BENCH_new.json
+    PYTHONPATH=src python tools/bench_watch.py --json BENCH_harness.json
+    PYTHONPATH=src python tools/bench_watch.py --fail-on-regression ...
+"""
+
+import argparse
+import json
+import statistics
+import sys
+from pathlib import Path
+
+from repro.metrics import names as metric_names
+
+
+def load_records(paths):
+    records = []
+    for path in paths:
+        try:
+            records.append(json.loads(Path(path).read_text()))
+        except (OSError, ValueError) as exc:
+            raise SystemExit(f"bench_watch: cannot read {path}: {exc}")
+    return records
+
+
+def _snapshot_value(metrics, name):
+    """One unlabeled sample's value from an embedded snapshot."""
+    family = metrics.get(name)
+    if not family:
+        return None
+    for sample in family.get("samples", []):
+        if not sample.get("labels"):
+            return sample.get("value")
+    return None
+
+
+def summarize_metrics(record):
+    """The service-metrics digest of one record, or ``None``."""
+    metrics = record.get("metrics")
+    if not isinstance(metrics, dict) or not metrics:
+        return None
+    digest = {}
+    for name in (metric_names.CACHE_HITS, metric_names.CACHE_MISSES,
+                 metric_names.CACHE_PUTS, metric_names.SIMULATIONS,
+                 metric_names.JOBS_SUBMITTED,
+                 metric_names.RUNNER_BATCHES):
+        value = _snapshot_value(metrics, name)
+        if value is not None:
+            digest[name] = value
+    points = metrics.get(metric_names.RUNNER_POINTS)
+    if points:
+        for sample in points.get("samples", []):
+            source = sample.get("labels", {}).get("source")
+            if source:
+                digest[f"{metric_names.RUNNER_POINTS}"
+                       f'{{source="{source}"}}'] = sample.get("value")
+    return digest or None
+
+
+def compare(records, band, floor):
+    """The comparison document: regressions, improvements, drift."""
+    newest = records[-1]
+    history = records[:-1]
+    newest_times = newest.get("per_benchmark_s") or {}
+    report = {
+        "records": len(records),
+        "newest_timestamp": newest.get("timestamp"),
+        "band": band,
+        "floor_s": floor,
+        "regressions": [],
+        "improvements": [],
+        "semantic_changes": [],
+        "uncomparable": [],
+        "metrics": summarize_metrics(newest),
+    }
+
+    newest_ticks = newest.get("total_ticks") or {}
+    drifted = set()
+    for record in history:
+        for key, ticks in (record.get("total_ticks") or {}).items():
+            if (key in newest_ticks and newest_ticks[key] != ticks
+                    and key not in drifted):
+                drifted.add(key)
+                report["semantic_changes"].append(
+                    {"benchmark": key, "was": ticks,
+                     "now": newest_ticks[key],
+                     "since": record.get("timestamp")})
+
+    for key, now_s in sorted(newest_times.items()):
+        priors = [record["per_benchmark_s"][key] for record in history
+                  if isinstance(record.get("per_benchmark_s"), dict)
+                  and key in record["per_benchmark_s"]]
+        if not priors:
+            report["uncomparable"].append(key)
+            continue
+        baseline = statistics.median(priors)
+        delta = now_s - baseline
+        entry = {
+            "benchmark": key,
+            "baseline_s": round(baseline, 3),
+            "now_s": round(now_s, 3),
+            "delta_s": round(delta, 3),
+            "delta_pct": round(100 * delta / baseline, 1)
+            if baseline else None,
+            "samples": len(priors),
+        }
+        if key in drifted:
+            continue  # timing is void once the workload changed
+        if delta > max(band * baseline, floor):
+            report["regressions"].append(entry)
+        elif -delta > max(band * baseline, floor):
+            report["improvements"].append(entry)
+    return report
+
+
+def render(report):
+    lines = [f"bench_watch: {report['records']} record(s), newest "
+             f"{report['newest_timestamp'] or '?'} — noise band "
+             f"{report['band']:.0%} / {report['floor_s']}s floor"]
+    if report["regressions"]:
+        lines.append(f"\nREGRESSIONS ({len(report['regressions'])}):")
+        for entry in report["regressions"]:
+            lines.append(
+                f"  {entry['benchmark']:24s} {entry['baseline_s']:8.3f}s"
+                f" -> {entry['now_s']:8.3f}s  ({entry['delta_pct']:+.1f}%"
+                f" over {entry['samples']} prior sample(s))")
+    else:
+        lines.append("no regressions beyond the noise band")
+    if report["improvements"]:
+        lines.append(f"\nimprovements ({len(report['improvements'])}):")
+        for entry in report["improvements"]:
+            lines.append(
+                f"  {entry['benchmark']:24s} {entry['baseline_s']:8.3f}s"
+                f" -> {entry['now_s']:8.3f}s  ({entry['delta_pct']:+.1f}%)")
+    if report["semantic_changes"]:
+        lines.append(f"\nsemantic changes (tick drift — timing not "
+                     f"compared) ({len(report['semantic_changes'])}):")
+        for entry in report["semantic_changes"]:
+            lines.append(f"  {entry['benchmark']:24s} "
+                         f"{entry['was']:,} -> {entry['now']:,} ticks")
+    if report["uncomparable"]:
+        lines.append(f"\nno history for: "
+                     f"{', '.join(report['uncomparable'])}")
+    if report["metrics"]:
+        lines.append("\nservice metrics (newest record):")
+        for name, value in report["metrics"].items():
+            lines.append(f"  {name:48s} {value:g}")
+    return "\n".join(lines)
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(
+        description=__doc__.splitlines()[0])
+    parser.add_argument("records", nargs="+",
+                        help="BENCH_harness.json files, oldest first, "
+                             "newest last")
+    parser.add_argument("--band", type=float, default=0.10,
+                        help="relative noise band (default 0.10 = 10%%)")
+    parser.add_argument("--floor", type=float, default=0.05,
+                        metavar="SECONDS",
+                        help="absolute noise floor (default 0.05)")
+    parser.add_argument("--json", action="store_true",
+                        help="print the comparison document as JSON")
+    parser.add_argument("--fail-on-regression", action="store_true",
+                        help="exit 1 when any regression is flagged")
+    args = parser.parse_args(argv)
+
+    records = load_records(args.records)
+    report = compare(records, band=max(0.0, args.band),
+                     floor=max(0.0, args.floor))
+    if args.json:
+        print(json.dumps(report, indent=2))
+    else:
+        print(render(report))
+    if args.fail_on_regression and report["regressions"]:
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
